@@ -1,0 +1,166 @@
+// Command psdtool builds a private spatial decomposition from a CSV point
+// file and answers range queries or dumps the released regions.
+//
+// Usage:
+//
+//	psdtool -data points.csv -kind kd-hybrid -height 6 -eps 0.5 \
+//	        -query "-123,46,-120,48" -query "-110,32,-104,36"
+//
+//	psdtool -data points.csv -kind quadtree -height 5 -eps 1 -regions
+//
+// The input CSV has one "x,y" row per point; lines starting with '#' are
+// skipped. The domain defaults to the data's bounding box (see the
+// BoundingBox caveat in the library docs: fixing a public domain is the
+// right call for a real release) and can be overridden with -domain.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"psd"
+)
+
+// rectFlag accumulates repeated -query flags.
+type rectFlag []psd.Rect
+
+func (r *rectFlag) String() string { return fmt.Sprint(*r) }
+
+func (r *rectFlag) Set(s string) error {
+	rect, err := parseRect(s)
+	if err != nil {
+		return err
+	}
+	*r = append(*r, rect)
+	return nil
+}
+
+func parseRect(s string) (psd.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return psd.Rect{}, fmt.Errorf("want x1,y1,x2,y2, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return psd.Rect{}, fmt.Errorf("bad coordinate %q: %v", p, err)
+		}
+		v[i] = f
+	}
+	if v[2] < v[0] {
+		v[0], v[2] = v[2], v[0]
+	}
+	if v[3] < v[1] {
+		v[1], v[3] = v[3], v[1]
+	}
+	return psd.NewRect(v[0], v[1], v[2], v[3]), nil
+}
+
+func main() {
+	data := flag.String("data", "", "CSV point file (required)")
+	kindName := flag.String("kind", "quadtree",
+		"tree kind: quadtree, kd, kd-hybrid, hilbert-r, kd-cell, kd-noisymean")
+	height := flag.Int("height", 6, "tree height")
+	eps := flag.Float64("eps", 0.5, "privacy budget")
+	seed := flag.Int64("seed", 1, "build seed")
+	domainSpec := flag.String("domain", "", "domain as x1,y1,x2,y2 (default: data bounding box)")
+	regions := flag.Bool("regions", false, "dump released regions as CSV")
+	var queries rectFlag
+	flag.Var(&queries, "query", "range query as x1,y1,x2,y2 (repeatable)")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "psdtool: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	points, err := readPoints(*data)
+	if err != nil {
+		fatal(err)
+	}
+	if len(points) == 0 {
+		fatal(fmt.Errorf("no points in %s", *data))
+	}
+
+	kinds := map[string]psd.Kind{
+		"quadtree": psd.QuadtreeKind, "kd": psd.KDTree, "kd-hybrid": psd.KDHybrid,
+		"hilbert-r": psd.HilbertRTree, "kd-cell": psd.KDCellTree,
+		"kd-noisymean": psd.KDNoisyMeanTree,
+	}
+	kind, ok := kinds[*kindName]
+	if !ok {
+		fatal(fmt.Errorf("unknown kind %q", *kindName))
+	}
+
+	domain := psd.BoundingBox(points)
+	if *domainSpec != "" {
+		domain, err = parseRect(*domainSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	tree, err := psd.Build(points, domain, psd.Options{
+		Kind: kind, Height: *height, Epsilon: *eps, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# %s h=%d eps=%g over %d points, built in %s, %d regions\n",
+		tree.Kind(), tree.Height(), tree.PrivacyCost(), len(points),
+		tree.BuildTime(), tree.NumRegions())
+
+	for _, q := range queries {
+		fmt.Printf("count %v = %.1f\n", q, tree.Count(q))
+	}
+	if *regions {
+		rects, counts := tree.Regions()
+		fmt.Println("lox,loy,hix,hiy,count")
+		for i, r := range rects {
+			fmt.Printf("%g,%g,%g,%g,%.2f\n", r.Lo.X, r.Lo.Y, r.Hi.X, r.Hi.Y, counts[i])
+		}
+	}
+}
+
+func readPoints(path string) ([]psd.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []psd.Point
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		parts := strings.Split(txt, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s:%d: want x,y", path, line)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		pts = append(pts, psd.Point{X: x, Y: y})
+	}
+	return pts, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psdtool:", err)
+	os.Exit(1)
+}

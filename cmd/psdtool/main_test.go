@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psd"
+)
+
+func TestParseRect(t *testing.T) {
+	r, err := parseRect("1,2,3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != psd.NewRect(1, 2, 3, 4) {
+		t.Errorf("parseRect = %v", r)
+	}
+	// Swapped corners normalize.
+	r, err = parseRect("3,4,1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != psd.NewRect(1, 2, 3, 4) {
+		t.Errorf("normalized parseRect = %v", r)
+	}
+	// Whitespace tolerated.
+	if _, err := parseRect(" 1 , 2 , 3 , 4 "); err != nil {
+		t.Errorf("whitespace should parse: %v", err)
+	}
+	for _, bad := range []string{"", "1,2,3", "1,2,3,4,5", "a,b,c,d"} {
+		if _, err := parseRect(bad); err == nil {
+			t.Errorf("parseRect(%q) should error", bad)
+		}
+	}
+}
+
+func TestRectFlagAccumulates(t *testing.T) {
+	var rf rectFlag
+	if err := rf.Set("0,0,1,1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Set("2,2,3,3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(rf) != 2 {
+		t.Errorf("len = %d, want 2", len(rf))
+	}
+	if rf.String() == "" {
+		t.Error("String should format")
+	}
+	if err := rf.Set("junk"); err == nil {
+		t.Error("bad rect should error")
+	}
+}
+
+func TestReadPoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	content := "# header comment\n1.5,2.5\n\n -3 , 4 \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := readPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("read %d points, want 2", len(pts))
+	}
+	if pts[0] != (psd.Point{X: 1.5, Y: 2.5}) || pts[1] != (psd.Point{X: -3, Y: 4}) {
+		t.Errorf("points = %v", pts)
+	}
+
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(bad); err == nil {
+		t.Error("malformed row should error")
+	}
+	bad2 := filepath.Join(dir, "bad2.csv")
+	if err := os.WriteFile(bad2, []byte("x,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(bad2); err == nil {
+		t.Error("non-numeric coordinate should error")
+	}
+	if _, err := readPoints(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}

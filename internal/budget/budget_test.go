@@ -1,0 +1,301 @@
+package budget
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformLevels(t *testing.T) {
+	levels, err := Uniform{}.Levels(9, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 10 {
+		t.Fatalf("len = %d, want 10", len(levels))
+	}
+	for i, e := range levels {
+		if math.Abs(e-0.1) > 1e-12 {
+			t.Errorf("ε_%d = %v, want 0.1", i, e)
+		}
+	}
+	if err := Check(levels, 1.0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricLevels(t *testing.T) {
+	const h, eps = 10, 0.5
+	levels, err := Geometric{}.Levels(h, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(levels, eps); err != nil {
+		t.Error(err)
+	}
+	// Lemma 3 closed form: ε_i = 2^((h-i)/3)·ε·(2^(1/3)-1)/(2^((h+1)/3)-1).
+	for i := 0; i <= h; i++ {
+		want := math.Pow(2, float64(h-i)/3) * eps *
+			(math.Cbrt(2) - 1) / (math.Pow(2, float64(h+1)/3) - 1)
+		if math.Abs(levels[i]-want) > 1e-12 {
+			t.Errorf("ε_%d = %v, want %v", i, levels[i], want)
+		}
+	}
+	// Budget grows from root (level h) toward leaves (level 0) by 2^(1/3).
+	for i := 0; i < h; i++ {
+		ratio := levels[i] / levels[i+1]
+		if math.Abs(ratio-GeometricRatio) > 1e-9 {
+			t.Errorf("ratio at level %d = %v, want %v", i, ratio, GeometricRatio)
+		}
+	}
+	if levels[0] <= levels[h] {
+		t.Error("leaves should get the largest share")
+	}
+}
+
+func TestGeometricRatioOne(t *testing.T) {
+	levels, err := Geometric{Ratio: 1}.Levels(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := Uniform{}.Levels(4, 1)
+	for i := range levels {
+		if math.Abs(levels[i]-uniform[i]) > 1e-12 {
+			t.Error("ratio-1 geometric should equal uniform")
+		}
+	}
+}
+
+func TestLeafOnly(t *testing.T) {
+	levels, err := LeafOnly{}.Levels(5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0] != 0.3 {
+		t.Errorf("leaf budget = %v, want 0.3", levels[0])
+	}
+	for i := 1; i <= 5; i++ {
+		if levels[i] != 0 {
+			t.Errorf("level %d budget = %v, want 0", i, levels[i])
+		}
+	}
+	if err := Check(levels, 0.3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustom(t *testing.T) {
+	levels, err := Custom{Weights: []float64{1, 0, 1, 0}}.Levels(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0, 0.5, 0}
+	for i := range want {
+		if math.Abs(levels[i]-want[i]) > 1e-12 {
+			t.Errorf("levels = %v, want %v", levels, want)
+			break
+		}
+	}
+	if _, err := (Custom{Weights: []float64{1, 2}}).Levels(3, 1); err == nil {
+		t.Error("wrong weight length should error")
+	}
+	if _, err := (Custom{Weights: []float64{-1, 1, 1, 1}}).Levels(3, 1); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := (Custom{Weights: []float64{0, 0, 0, 0}}).Levels(3, 1); err == nil {
+		t.Error("all-zero weights should error")
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	for _, s := range []Strategy{Uniform{}, Geometric{}, LeafOnly{}} {
+		if _, err := s.Levels(-1, 1); err == nil {
+			t.Errorf("%s: negative height should error", s.Name())
+		}
+		if _, err := s.Levels(3, 0); err == nil {
+			t.Errorf("%s: zero budget should error", s.Name())
+		}
+		if _, err := s.Levels(3, math.Inf(1)); err == nil {
+			t.Errorf("%s: infinite budget should error", s.Name())
+		}
+	}
+	if _, err := (Geometric{Ratio: -2}).Levels(3, 1); err == nil {
+		t.Error("negative ratio should error")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check([]float64{0.5, 0.5}, 1); err != nil {
+		t.Error(err)
+	}
+	if err := Check([]float64{0.5, 0.6}, 1); err == nil {
+		t.Error("over-budget should fail Check")
+	}
+	if err := Check([]float64{-0.1, 1.1}, 1); err == nil {
+		t.Error("negative level should fail Check")
+	}
+}
+
+// Property: all strategies sum to the budget for arbitrary valid inputs.
+func TestStrategiesSumToBudgetQuick(t *testing.T) {
+	strategies := []Strategy{Uniform{}, Geometric{}, Geometric{Ratio: 1.7}, LeafOnly{}}
+	f := func(hRaw uint8, epsRaw float64) bool {
+		h := int(hRaw) % 14
+		eps := math.Abs(math.Mod(epsRaw, 10)) + 0.001
+		for _, s := range strategies {
+			levels, err := s.Levels(h, eps)
+			if err != nil {
+				return false
+			}
+			if Check(levels, eps) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma2Bounds(t *testing.T) {
+	// Quadtree: n_i doubles per level until hitting the 4^(h-i) cap.
+	if got := QuadtreeNodesAtLevel(10, 10); got != 1 {
+		t.Errorf("root level bound = %v, want 1 (cap)", got)
+	}
+	if got := QuadtreeNodesAtLevel(10, 9); got != 4 {
+		t.Errorf("level-9 bound = %v, want 4 (cap)", got)
+	}
+	if got := QuadtreeNodesAtLevel(10, 0); got != 8*1024 {
+		t.Errorf("leaf bound = %v, want 8192", got)
+	}
+	// kd-tree: doubles every two levels.
+	if got := KDTreeNodesAtLevel(10, 0); got != 8*math.Pow(2, 5) {
+		t.Errorf("kd leaf bound = %v", got)
+	}
+	if KDTreeNodesAtLevel(10, 2) >= QuadtreeNodesAtLevel(10, 2)*8 {
+		t.Error("kd bound should grow much slower than quad bound deep down")
+	}
+}
+
+// Lemma 3: the geometric allocation minimizes the worst-case error among a
+// dense sweep of geometric ratios, and beats uniform.
+func TestLemma3Optimality(t *testing.T) {
+	const h, eps = 10, 1.0
+	errAt := func(ratio float64) float64 {
+		levels, err := Geometric{Ratio: ratio}.Levels(h, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return WorstCaseErr(levels, func(hh, i int) float64 {
+			return 8 * math.Pow(2, float64(hh-i)) // the Lemma 3 objective
+		})
+	}
+	opt := errAt(GeometricRatio)
+	for ratio := 1.02; ratio < 2.0; ratio += 0.02 {
+		if e := errAt(ratio); e < opt*(1-1e-9) {
+			t.Fatalf("ratio %v beats the Lemma 3 optimum: %v < %v", ratio, e, opt)
+		}
+	}
+	uniformLevels, _ := Uniform{}.Levels(h, eps)
+	uniformErr := WorstCaseErr(uniformLevels, func(hh, i int) float64 {
+		return 8 * math.Pow(2, float64(hh-i))
+	})
+	if opt >= uniformErr {
+		t.Errorf("geometric (%v) should beat uniform (%v)", opt, uniformErr)
+	}
+}
+
+func TestClosedFormsAgree(t *testing.T) {
+	// The closed forms match WorstCaseErr with the uncapped Lemma 3 bound.
+	for h := 3; h <= 11; h++ {
+		eps := 0.7
+		uni, _ := Uniform{}.Levels(h, eps)
+		got := WorstCaseErr(uni, func(hh, i int) float64 {
+			return 8 * math.Pow(2, float64(hh-i))
+		})
+		want := UniformWorstCase(h, eps)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("h=%d uniform: %v vs closed form %v", h, got, want)
+		}
+		geo, _ := Geometric{}.Levels(h, eps)
+		got = WorstCaseErr(geo, func(hh, i int) float64 {
+			return 8 * math.Pow(2, float64(hh-i))
+		})
+		want = GeometricWorstCase(h, eps)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("h=%d geometric: %v vs closed form %v", h, got, want)
+		}
+		// The exact and "simple" forms grow at the same 2^h rate: their
+		// ratio converges to 16/((2^(1/3)-1)³·64) ≈ 14.2 as h grows.
+		ratio := want / GeometricWorstCaseSimple(h, eps)
+		limit := 16 / (math.Pow(math.Cbrt(2)-1, 3) * 64)
+		if h >= 8 && math.Abs(ratio-limit)/limit > 0.35 {
+			t.Errorf("h=%d: exact/simple ratio %v, want ≈ %v", h, ratio, limit)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	rows, err := Figure2(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// The paper's Figure 2: at h=10 uniform is ~2.5e5 (×16/ε²) while
+	// geometric sits around 0.9e5 — a ~2.7x gap that widens with h
+	// (uniform grows as (h+1)²·2^h, geometric as 2^h).
+	last := rows[len(rows)-1]
+	if last.H != 10 {
+		t.Fatalf("last row h = %d", last.H)
+	}
+	if last.Uniform < 2.4e5 || last.Uniform > 2.6e5 {
+		t.Errorf("uniform(10) = %v, want ≈ 2.48e5", last.Uniform)
+	}
+	if last.Geometric < 8.5e4 || last.Geometric > 9.7e4 {
+		t.Errorf("geometric(10) = %v, want ≈ 9.1e4", last.Geometric)
+	}
+	if gap := last.Uniform / last.Geometric; gap < 2.3 || gap > 3.2 {
+		t.Errorf("uniform/geometric gap at h=10 = %v, want ≈ 2.7", gap)
+	}
+	prevGap := 0.0
+	for _, r := range rows {
+		gap := r.Uniform / r.Geometric
+		if gap <= prevGap {
+			t.Errorf("h=%d: uniform/geometric gap %v should widen with h", r.H, gap)
+		}
+		prevGap = gap
+	}
+	if _, err := Figure2(5, 3); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestOptimalRatioForDoubling(t *testing.T) {
+	if got := OptimalRatioForDoubling(2); math.Abs(got-math.Cbrt(2)) > 1e-12 {
+		t.Errorf("ratio = %v, want 2^(1/3)", got)
+	}
+}
+
+func TestUniformityErrHeuristic(t *testing.T) {
+	// The heuristic is U-shaped in h: too-shallow trees pay uniformity
+	// error, too-deep trees pay noise error.
+	n := float64(1 << 20)
+	if UniformityErrHeuristic(n, 2) <= UniformityErrHeuristic(n, 10) {
+		t.Error("shallow tree should pay more uniformity error")
+	}
+	if UniformityErrHeuristic(n, 30) <= UniformityErrHeuristic(n, 20) {
+		t.Error("very deep tree should pay more noise error")
+	}
+}
+
+func TestWorstCaseErrSkipsZeroLevels(t *testing.T) {
+	levels := []float64{1, 0, 0}
+	got := WorstCaseErr(levels, QuadtreeNodesAtLevel)
+	want := 2 * QuadtreeNodesAtLevel(2, 0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("WorstCaseErr = %v, want %v", got, want)
+	}
+}

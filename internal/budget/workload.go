@@ -1,0 +1,120 @@
+package budget
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/geom"
+)
+
+// This file implements the workload-aware budgeting that Section 4.2
+// sketches: "if the workload is known a priori, one should analyze it to
+// determine how frequently each node in the tree contributes to the
+// answers", then allocate more budget where it is used more.
+//
+// For a per-level allocation the relevant statistic is n̄_i, the average
+// number of level-i node counts the canonical query method adds for a
+// workload query. The error model of equation (1) becomes
+//
+//	Err = Σ_i 2·n̄_i/ε_i²   subject to   Σ_i ε_i = ε,
+//
+// and the same Cauchy–Schwarz argument as Lemma 3 yields the optimum
+// ε_i ∝ n̄_i^(1/3) — Lemma 3 is the special case n̄_i ∝ 2^(h-i).
+
+// Tuned allocates the budget proportional to the cube root of each level's
+// average contribution to a known query workload, measured on the
+// data-independent (midpoint) quadtree over Domain. Levels that no query
+// ever touches receive no budget.
+type Tuned struct {
+	// Domain is the tree's domain rectangle.
+	Domain geom.Rect
+	// Queries is the anticipated workload.
+	Queries []geom.Rect
+	// Floor guards against overfitting a narrow workload: every level's
+	// contribution is raised to at least Floor times the peak level's
+	// before the cube root, so no level is left entirely unfunded. Note
+	// the cube root compresses aggressively — a floor of 1e-6 already
+	// grants untouched levels ~1% of the peak budget. Zero disables.
+	Floor float64
+}
+
+// Levels implements Strategy.
+func (t Tuned) Levels(h int, eps float64) ([]float64, error) {
+	if err := validate(h, eps); err != nil {
+		return nil, err
+	}
+	if t.Domain.Empty() {
+		return nil, fmt.Errorf("budget: tuned strategy needs a domain")
+	}
+	if len(t.Queries) == 0 {
+		return nil, fmt.Errorf("budget: tuned strategy needs a workload")
+	}
+	counts, err := LevelContributions(t.Domain, t.Queries, h)
+	if err != nil {
+		return nil, err
+	}
+	var peak float64
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return nil, fmt.Errorf("budget: workload touches no tree level")
+	}
+	floor := t.Floor * peak
+	weights := make([]float64, h+1)
+	for i, c := range counts {
+		if c < floor {
+			c = floor
+		}
+		if c > 0 {
+			weights[i] = math.Cbrt(c)
+		}
+	}
+	return Custom{Weights: weights}.Levels(h, eps)
+}
+
+// Name implements Strategy.
+func (Tuned) Name() string { return "workload-tuned" }
+
+// LevelContributions returns, for each level i (leaves first), the average
+// number of level-i nodes that are maximally contained in a workload query
+// on the data-independent quadtree of height h over domain — the n̄_i of
+// the workload-aware error model. Partially-intersected leaves count
+// toward level 0, as in the paper's error analysis.
+func LevelContributions(domain geom.Rect, queries []geom.Rect, h int) ([]float64, error) {
+	if domain.Empty() {
+		return nil, fmt.Errorf("budget: empty domain")
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("budget: negative height %d", h)
+	}
+	totals := make([]float64, h+1)
+	for _, q := range queries {
+		contributions(domain, q, h, h, totals)
+	}
+	n := float64(len(queries))
+	if n == 0 {
+		return totals, nil
+	}
+	for i := range totals {
+		totals[i] /= n
+	}
+	return totals, nil
+}
+
+// contributions walks the implicit midpoint quadtree, tallying maximally
+// contained nodes per level. level is the current node's level (root = h).
+func contributions(cell, q geom.Rect, level, h int, totals []float64) {
+	if !cell.Intersects(q) {
+		return
+	}
+	if q.ContainsRect(cell) || level == 0 {
+		totals[level]++
+		return
+	}
+	for _, quad := range cell.Quadrants() {
+		contributions(quad, q, level-1, h, totals)
+	}
+}

@@ -1,0 +1,223 @@
+package budget
+
+import (
+	"math"
+	"testing"
+
+	"psd/internal/geom"
+)
+
+func TestLevelContributionsAlignedQueries(t *testing.T) {
+	dom := geom.NewRect(0, 0, 16, 16)
+	// A query exactly covering one depth-1 quadrant contributes one node at
+	// level h-1 and nothing else.
+	got, err := LevelContributions(dom, []geom.Rect{geom.NewRect(0, 0, 8, 8)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("contributions = %v, want %v", got, want)
+		}
+	}
+	// The full domain contributes only the root.
+	got, _ = LevelContributions(dom, []geom.Rect{dom}, 3)
+	if got[3] != 1 || got[0] != 0 {
+		t.Errorf("full-domain contributions = %v", got)
+	}
+	// A tiny unaligned query lands on a handful of leaves.
+	got, _ = LevelContributions(dom, []geom.Rect{geom.NewRect(3.5, 3.5, 4.5, 4.5)}, 3)
+	if got[0] == 0 {
+		t.Errorf("tiny-query contributions = %v, want leaf mass", got)
+	}
+	if got[3] != 0 {
+		t.Errorf("tiny query should not touch the root: %v", got)
+	}
+}
+
+func TestLevelContributionsAveragesOverWorkload(t *testing.T) {
+	dom := geom.NewRect(0, 0, 16, 16)
+	qs := []geom.Rect{
+		geom.NewRect(0, 0, 8, 8),   // one level-2 node
+		geom.NewRect(8, 8, 16, 16), // one level-2 node
+	}
+	got, err := LevelContributions(dom, qs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 1 { // (1 + 1)/2
+		t.Errorf("avg level-2 contributions = %v, want 1", got[2])
+	}
+}
+
+func TestLevelContributionsValidation(t *testing.T) {
+	if _, err := LevelContributions(geom.Rect{}, nil, 3); err == nil {
+		t.Error("empty domain should error")
+	}
+	if _, err := LevelContributions(geom.NewRect(0, 0, 1, 1), nil, -1); err == nil {
+		t.Error("negative height should error")
+	}
+}
+
+func TestTunedMatchesWorkloadShape(t *testing.T) {
+	dom := geom.NewRect(0, 0, 16, 16)
+	// Workload of quadrant-aligned queries: all mass at level 2. The tuned
+	// strategy should put the whole budget there.
+	levels, err := Tuned{Domain: dom, Queries: []geom.Rect{geom.NewRect(0, 0, 8, 8)}}.Levels(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[2] != 1 {
+		t.Errorf("levels = %v, want all budget at level 2", levels)
+	}
+	if err := Check(levels, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTunedCubeRootRule(t *testing.T) {
+	dom := geom.NewRect(0, 0, 16, 16)
+	// Mixed workload: half the queries hit one level-2 node, half hit a
+	// leaf-dominated shape. Weights follow n̄_i^(1/3).
+	qs := []geom.Rect{
+		geom.NewRect(0, 0, 8, 8),
+		geom.NewRect(1.3, 1.3, 2.2, 2.2),
+	}
+	contrib, err := LevelContributions(dom, qs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := Tuned{Domain: dom, Queries: qs}.Levels(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε_i ratios equal cbrt(n̄_i) ratios wherever both are positive.
+	var refLevel = -1
+	for i, c := range contrib {
+		if c > 0 {
+			refLevel = i
+			break
+		}
+	}
+	if refLevel < 0 {
+		t.Fatal("no contributions")
+	}
+	for i, c := range contrib {
+		if c == 0 {
+			if levels[i] != 0 {
+				t.Errorf("untouched level %d got budget %v", i, levels[i])
+			}
+			continue
+		}
+		wantRatio := math.Cbrt(c) / math.Cbrt(contrib[refLevel])
+		gotRatio := levels[i] / levels[refLevel]
+		if math.Abs(gotRatio-wantRatio) > 1e-9 {
+			t.Errorf("level %d: ε ratio %v, want %v", i, gotRatio, wantRatio)
+		}
+	}
+}
+
+func TestTunedFloorSpreadsBudget(t *testing.T) {
+	dom := geom.NewRect(0, 0, 16, 16)
+	qs := []geom.Rect{geom.NewRect(0, 0, 8, 8)}
+	levels, err := Tuned{Domain: dom, Queries: qs, Floor: 0.5}.Levels(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range levels {
+		if e <= 0 {
+			t.Errorf("floored tuned strategy left level %d empty: %v", i, levels)
+		}
+	}
+	if levels[2] <= levels[0] {
+		t.Error("workload level should still dominate")
+	}
+}
+
+func TestTunedValidation(t *testing.T) {
+	dom := geom.NewRect(0, 0, 1, 1)
+	if _, err := (Tuned{Queries: []geom.Rect{dom}}).Levels(3, 1); err == nil {
+		t.Error("missing domain should error")
+	}
+	if _, err := (Tuned{Domain: dom}).Levels(3, 1); err == nil {
+		t.Error("missing workload should error")
+	}
+	if _, err := (Tuned{Domain: dom, Queries: []geom.Rect{dom}}).Levels(3, 0); err == nil {
+		t.Error("zero budget should error")
+	}
+	// A workload entirely outside the domain touches nothing.
+	out := geom.NewRect(50, 50, 60, 60)
+	if _, err := (Tuned{Domain: dom, Queries: []geom.Rect{out}}).Levels(3, 1); err == nil {
+		t.Error("disjoint workload should error")
+	}
+	if (Tuned{}).Name() != "workload-tuned" {
+		t.Error("name wrong")
+	}
+}
+
+// The tuned strategy recovers (approximately) the Lemma 3 geometric shape
+// when the workload is worst-case-like: large random queries whose level
+// profile doubles per level.
+func TestTunedApproximatesGeometricOnGenericWorkload(t *testing.T) {
+	dom := geom.NewRect(0, 0, 64, 64)
+	var qs []geom.Rect
+	// A spread of query sizes and positions.
+	for i := 0; i < 60; i++ {
+		fx := float64(i%6) / 6 * 40
+		fy := float64(i%5) / 5 * 40
+		w := 5 + float64(i%7)*7
+		h := 5 + float64((i+3)%7)*7
+		qs = append(qs, geom.NewRect(fx, fy, math.Min(fx+w, 64), math.Min(fy+h, 64)))
+	}
+	const h = 5
+	tuned, err := Tuned{Domain: dom, Queries: qs}.Levels(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf level should receive the largest share, as in Lemma 3.
+	for i := 1; i <= h; i++ {
+		if tuned[0] < tuned[i] {
+			t.Errorf("leaf budget %v below level-%d budget %v", tuned[0], i, tuned[i])
+		}
+	}
+}
+
+// End-to-end: on a leaf-heavy workload the tuned budget yields lower
+// worst-case model error than the generic geometric budget evaluated on
+// that same workload profile.
+func TestTunedBeatsGeometricOnItsWorkload(t *testing.T) {
+	dom := geom.NewRect(0, 0, 64, 64)
+	var qs []geom.Rect
+	for i := 0; i < 40; i++ {
+		x := float64(i%8)*7 + 0.6
+		y := float64(i/8)*9 + 0.3
+		qs = append(qs, geom.NewRect(x, y, x+1.7, y+1.3))
+	}
+	const h = 5
+	contrib, err := LevelContributions(dom, qs, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := func(levels []float64) float64 {
+		var sum float64
+		for i, e := range levels {
+			if contrib[i] == 0 {
+				continue
+			}
+			if e == 0 {
+				return math.Inf(1)
+			}
+			sum += 2 * contrib[i] / (e * e)
+		}
+		return sum
+	}
+	tuned, err := Tuned{Domain: dom, Queries: qs}.Levels(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, _ := Geometric{}.Levels(h, 1)
+	if model(tuned) >= model(geo) {
+		t.Errorf("tuned model error %v should beat geometric %v", model(tuned), model(geo))
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"psd/internal/geom"
+	"psd/internal/grid"
+	"psd/internal/median"
+	"psd/internal/ols"
+	"psd/internal/tree"
+)
+
+// Build constructs a private spatial decomposition over points within
+// domain. The input slice is not modified (Build partitions a copy).
+// Points outside the domain are clamped onto its boundary so every input
+// tuple is represented, matching how the grid baseline treats strays.
+func Build(points []geom.Point, domain geom.Rect, cfg Config) (*PSD, error) {
+	start := time.Now()
+	cfg, err := cfg.withDefaults(domain)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := tree.NewComplete(4, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := clampPoints(points, domain)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &PSD{
+		kind:    cfg.Kind,
+		arena:   arena,
+		domain:  domain,
+		epsilon: cfg.Epsilon,
+		pruneAt: cfg.PruneThreshold,
+	}
+	p.stats.Points = len(pts)
+
+	// Split the budget between structure and counts.
+	epsCount := cfg.Epsilon * cfg.CountFraction
+	epsStruct := cfg.Epsilon - epsCount
+	if cfg.NonPrivate {
+		epsCount, epsStruct = 0, 0
+	}
+
+	// Phase 1: structure. Each builder assigns node rectangles and exact
+	// counts, spending epsStruct on private medians (or the kd-cell grid).
+	switch cfg.Kind {
+	case Quadtree, KD, Hybrid, KDNoisyMean:
+		sp, serr := newSplitPlanner(cfg, epsStruct, p)
+		if serr != nil {
+			return nil, serr
+		}
+		if err := buildPartitionTree(arena, pts, domain, sp); err != nil {
+			return nil, err
+		}
+	case KDCell:
+		g, gerr := buildCellGrid(pts, domain, cfg, epsStruct)
+		if gerr != nil {
+			return nil, gerr
+		}
+		sp := &cellSplitter{grid: g, psd: p}
+		if err := buildPartitionTree(arena, pts, domain, sp); err != nil {
+			return nil, err
+		}
+		p.structEps = epsStruct // one grid release covers every split
+	case HilbertR:
+		if err := buildHilbertTree(arena, pts, domain, cfg, epsStruct, p); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown kind %v", cfg.Kind)
+	}
+
+	// Phase 2: noisy counts, one Laplace release per published level
+	// (sensitivity 1 per level; levels compose sequentially along paths).
+	var levels []float64
+	if cfg.NonPrivate {
+		levels = make([]float64, cfg.Height+1)
+		for i := range arena.Nodes {
+			arena.Nodes[i].Noisy = arena.Nodes[i].True
+			arena.Nodes[i].Published = true
+		}
+	} else {
+		levels, err = cfg.Strategy.Levels(cfg.Height, epsCount)
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d <= cfg.Height; d++ {
+			level := cfg.Height - d
+			eps := levels[level]
+			lo, hi := arena.DepthRange(d)
+			for i := lo; i < hi; i++ {
+				n := &arena.Nodes[i]
+				if eps > 0 {
+					n.Noisy = cfg.Noise.Add(n.True, 1, eps)
+					n.Published = true
+				}
+			}
+		}
+	}
+	p.countEps = levels
+
+	// Phase 3: post-processing (Section 5) or raw estimates.
+	if cfg.PostProcess && !cfg.NonPrivate {
+		if err := ols.Estimate(arena, levels); err != nil {
+			return nil, err
+		}
+		p.postProcessed = true
+	} else {
+		ols.CopyNoisyToEst(arena)
+	}
+
+	// Phase 4: pruning (Section 7), applied after post-processing.
+	if cfg.PruneThreshold > 0 {
+		p.stats.PrunedSubtrees = prune(arena, cfg.PruneThreshold)
+	}
+
+	p.stats.Duration = time.Since(start)
+	return p, nil
+}
+
+// clampPoints copies points, clamping strays onto the domain boundary
+// (just inside the half-open upper edges). Non-finite coordinates are an
+// error: silently folding them anywhere would misattribute a tuple.
+func clampPoints(points []geom.Point, domain geom.Rect) ([]geom.Point, error) {
+	out := make([]geom.Point, len(points))
+	for i, p := range points {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("core: point %d has non-finite coordinates %v", i, p)
+		}
+		if p.X < domain.Lo.X {
+			p.X = domain.Lo.X
+		}
+		if p.Y < domain.Lo.Y {
+			p.Y = domain.Lo.Y
+		}
+		if p.X >= domain.Hi.X {
+			p.X = beforeUp(domain.Hi.X)
+		}
+		if p.Y >= domain.Hi.Y {
+			p.Y = beforeUp(domain.Hi.Y)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// beforeUp returns the largest float64 strictly below v.
+func beforeUp(v float64) float64 {
+	return math.Nextafter(v, math.Inf(-1))
+}
+
+// splitPlanner chooses split coordinates for the generic fanout-4
+// partition-tree builder. depth is the flattened depth of the node being
+// split (root = 0).
+type splitPlanner interface {
+	SplitX(pts []geom.Point, r geom.Rect, depth int) (float64, error)
+	SplitY(pts []geom.Point, r geom.Rect, depth int) (float64, error)
+}
+
+// buildPartitionTree assigns rectangles and exact counts to every node of
+// the arena by recursively splitting the point set: first along x, then
+// each half along y, producing four children per node (the flattened
+// fanout-4 layout of Section 6.2).
+func buildPartitionTree(arena *tree.Tree, pts []geom.Point, domain geom.Rect, sp splitPlanner) error {
+	arena.Nodes[0].Rect = domain
+	var rec func(idx int, pts []geom.Point, depth int) error
+	rec = func(idx int, pts []geom.Point, depth int) error {
+		n := &arena.Nodes[idx]
+		n.True = float64(len(pts))
+		if arena.IsLeaf(idx) {
+			return nil
+		}
+		xs, err := sp.SplitX(pts, n.Rect, depth)
+		if err != nil {
+			return err
+		}
+		rL, rR := n.Rect.SplitX(xs)
+		mid := partitionBelow(pts, geom.AxisX, rL.Hi.X)
+		ptsL, ptsR := pts[:mid], pts[mid:]
+
+		ysL, err := sp.SplitY(ptsL, rL, depth)
+		if err != nil {
+			return err
+		}
+		ysR, err := sp.SplitY(ptsR, rR, depth)
+		if err != nil {
+			return err
+		}
+		r0, r1 := rL.SplitY(ysL)
+		r2, r3 := rR.SplitY(ysR)
+		midL := partitionBelow(ptsL, geom.AxisY, r0.Hi.Y)
+		midR := partitionBelow(ptsR, geom.AxisY, r2.Hi.Y)
+
+		cs := arena.ChildStart(idx)
+		arena.Nodes[cs+0].Rect = r0
+		arena.Nodes[cs+1].Rect = r1
+		arena.Nodes[cs+2].Rect = r2
+		arena.Nodes[cs+3].Rect = r3
+		if err := rec(cs+0, ptsL[:midL], depth+1); err != nil {
+			return err
+		}
+		if err := rec(cs+1, ptsL[midL:], depth+1); err != nil {
+			return err
+		}
+		if err := rec(cs+2, ptsR[:midR], depth+1); err != nil {
+			return err
+		}
+		return rec(cs+3, ptsR[midR:], depth+1)
+	}
+	return rec(0, pts, 0)
+}
+
+// partitionBelow reorders pts so entries with coordinate < split along axis
+// come first and returns their count.
+func partitionBelow(pts []geom.Point, axis geom.Axis, split float64) int {
+	i, j := 0, len(pts)
+	for i < j {
+		if axis.Coord(pts[i]) < split {
+			i++
+			continue
+		}
+		j--
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+	return i
+}
+
+// newSplitPlanner builds the planner for the partition-tree kinds.
+func newSplitPlanner(cfg Config, epsStruct float64, p *PSD) (splitPlanner, error) {
+	switch cfg.Kind {
+	case Quadtree:
+		return midpointSplitter{}, nil
+	case KD, KDNoisyMean:
+		return newMedianSplitter(cfg, cfg.Height, epsStruct, p)
+	case Hybrid:
+		ms, err := newMedianSplitter(cfg, cfg.SwitchLevel, epsStruct, p)
+		if err != nil {
+			return nil, err
+		}
+		return &hybridSplitter{median: ms, switchLevel: cfg.SwitchLevel}, nil
+	}
+	return nil, fmt.Errorf("core: no split planner for %v", cfg.Kind)
+}
+
+// midpointSplitter performs data-independent quadtree splits.
+type midpointSplitter struct{}
+
+func (midpointSplitter) SplitX(_ []geom.Point, r geom.Rect, _ int) (float64, error) {
+	return r.Center().X, nil
+}
+
+func (midpointSplitter) SplitY(_ []geom.Point, r geom.Rect, _ int) (float64, error) {
+	return r.Center().Y, nil
+}
+
+// medianSplitter performs private-median splits. Along any root-to-leaf
+// path each flattened level incurs two median computations (x then y), so
+// with dataLevels data-dependent levels the per-median budget is
+// epsStruct/(2·dataLevels) and the per-path structural spend is epsStruct
+// (Section 6.2's uniform median budgeting).
+type medianSplitter struct {
+	f      median.Finder
+	epsPer float64
+	psd    *PSD
+}
+
+func newMedianSplitter(cfg Config, dataLevels int, epsStruct float64, p *PSD) (*medianSplitter, error) {
+	ms := &medianSplitter{f: cfg.Median, psd: p}
+	if dataLevels > 0 && epsStruct > 0 {
+		ms.epsPer = epsStruct / float64(2*dataLevels)
+		p.structEps = epsStruct
+	}
+	return ms, nil
+}
+
+func (ms *medianSplitter) split(pts []geom.Point, axis geom.Axis, lo, hi float64) (float64, error) {
+	if hi <= lo {
+		return lo, nil
+	}
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = axis.Coord(p)
+	}
+	ms.psd.stats.MedianCalls++
+	return ms.f.Median(vals, lo, hi, ms.epsPer)
+}
+
+func (ms *medianSplitter) SplitX(pts []geom.Point, r geom.Rect, _ int) (float64, error) {
+	return ms.split(pts, geom.AxisX, r.Lo.X, r.Hi.X)
+}
+
+func (ms *medianSplitter) SplitY(pts []geom.Point, r geom.Rect, _ int) (float64, error) {
+	return ms.split(pts, geom.AxisY, r.Lo.Y, r.Hi.Y)
+}
+
+// hybridSplitter uses private medians above switchLevel and midpoints below
+// (Section 3.2's hybrid tree).
+type hybridSplitter struct {
+	median      *medianSplitter
+	switchLevel int
+}
+
+func (h *hybridSplitter) SplitX(pts []geom.Point, r geom.Rect, depth int) (float64, error) {
+	if depth < h.switchLevel {
+		return h.median.SplitX(pts, r, depth)
+	}
+	return midpointSplitter{}.SplitX(pts, r, depth)
+}
+
+func (h *hybridSplitter) SplitY(pts []geom.Point, r geom.Rect, depth int) (float64, error) {
+	if depth < h.switchLevel {
+		return h.median.SplitY(pts, r, depth)
+	}
+	return midpointSplitter{}.SplitY(pts, r, depth)
+}
+
+// buildCellGrid releases the fixed-resolution grid that drives kd-cell
+// splits ([26]). The grid release is a single epsStruct-DP publication
+// (cells partition the data), after which every median is post-processing.
+func buildCellGrid(pts []geom.Point, domain geom.Rect, cfg Config, epsStruct float64) (*grid.Grid, error) {
+	nx := int(domain.Width()/cfg.CellSize + 0.5)
+	ny := int(domain.Height()/cfg.CellSize + 0.5)
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	for nx*ny > grid.MaxCells {
+		nx = (nx + 1) / 2
+		ny = (ny + 1) / 2
+	}
+	return grid.Build(pts, domain, nx, ny, epsStruct, cfg.Noise)
+}
+
+// cellSplitter reads kd-cell split points off the noisy grid.
+type cellSplitter struct {
+	grid *grid.Grid
+	psd  *PSD
+}
+
+func (c *cellSplitter) SplitX(_ []geom.Point, r geom.Rect, _ int) (float64, error) {
+	c.psd.stats.MedianCalls++
+	return c.grid.MedianAlong(r, geom.AxisX), nil
+}
+
+func (c *cellSplitter) SplitY(_ []geom.Point, r geom.Rect, _ int) (float64, error) {
+	c.psd.stats.MedianCalls++
+	return c.grid.MedianAlong(r, geom.AxisY), nil
+}
+
+// prune implements Section 7: descendants of any node whose estimated count
+// falls below threshold are removed (the node becomes an effective leaf).
+// It returns the number of subtrees cut. Children of pruned nodes are not
+// themselves marked; queries stop at the first pruned ancestor.
+func prune(arena *tree.Tree, threshold float64) int {
+	cut := 0
+	for d := 0; d < arena.Height(); d++ {
+		lo, hi := arena.DepthRange(d)
+		for i := lo; i < hi; i++ {
+			if arena.Nodes[i].Pruned {
+				continue
+			}
+			// Skip nodes under an already-pruned ancestor.
+			if d > 0 && prunedAncestor(arena, i) {
+				continue
+			}
+			if arena.Nodes[i].Est < threshold {
+				arena.Nodes[i].Pruned = true
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+func prunedAncestor(arena *tree.Tree, i int) bool {
+	for p := arena.Parent(i); p >= 0; p = arena.Parent(p) {
+		if arena.Nodes[p].Pruned {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+
+	"psd/internal/geom"
+	"psd/internal/hilbert"
+	"psd/internal/tree"
+)
+
+// buildHilbertTree constructs the private Hilbert R-tree of Sections
+// 3.2-3.3: points are mapped to their Hilbert values, a one-dimensional
+// kd-tree over the values is built with private median splits (flattened to
+// fanout 4 like the 2-D kd-trees), and each node's rectangle is the exact
+// bounding box of its Hilbert index range — a data-independent function of
+// the range, so rectangles cost no budget beyond the medians that chose the
+// ranges.
+//
+// Per root-to-leaf path, each flattened level spends two median budgets
+// (the value split plus the relevant sub-split), identical to the kd
+// accounting.
+func buildHilbertTree(arena *tree.Tree, pts []geom.Point, domain geom.Rect, cfg Config, epsStruct float64, p *PSD) error {
+	mapper, err := hilbert.NewMapper(cfg.HilbertOrder, domain)
+	if err != nil {
+		return err
+	}
+	vals := make([]float64, len(pts))
+	for i, pt := range pts {
+		// Hilbert indices up to 4^31 are exactly representable in float64
+		// only through order 26; the default order 18 is far inside that.
+		vals[i] = float64(mapper.Index(pt))
+	}
+	var epsPer float64
+	if cfg.Height > 0 && epsStruct > 0 {
+		epsPer = epsStruct / float64(2*cfg.Height)
+		p.structEps = epsStruct
+	}
+	total := float64(mapper.Curve().NumCells())
+
+	rect := func(lo, hi float64) (geom.Rect, error) {
+		// The node owns integer Hilbert values in [ceil(lo), ceil(hi)-1].
+		a := uint64(math.Ceil(lo))
+		bf := math.Ceil(hi) - 1
+		if bf < float64(a) {
+			// No whole index falls in the interval: a degenerate, zero-area
+			// rectangle that never matches queries (the node is empty).
+			corner := geom.Point{X: domain.Lo.X, Y: domain.Lo.Y}
+			return geom.Rect{Lo: corner, Hi: corner}, nil
+		}
+		return mapper.RangeBounds(a, uint64(bf))
+	}
+
+	rootRect, err := rect(0, total)
+	if err != nil {
+		return err
+	}
+	arena.Nodes[0].Rect = rootRect
+
+	var rec func(idx int, vals []float64, lo, hi float64) error
+	rec = func(idx int, vals []float64, lo, hi float64) error {
+		n := &arena.Nodes[idx]
+		n.True = float64(len(vals))
+		if arena.IsLeaf(idx) {
+			return nil
+		}
+		// Flattened binary splits: m1 over [lo,hi), then m2 over [lo,m1)
+		// and m3 over [m1,hi).
+		m1, err := splitValue(cfg, vals, lo, hi, epsPer, p)
+		if err != nil {
+			return err
+		}
+		mid := partitionValues(vals, m1)
+		left, right := vals[:mid], vals[mid:]
+		m2, err := splitValue(cfg, left, lo, m1, epsPer, p)
+		if err != nil {
+			return err
+		}
+		m3, err := splitValue(cfg, right, m1, hi, epsPer, p)
+		if err != nil {
+			return err
+		}
+		midL := partitionValues(left, m2)
+		midR := partitionValues(right, m3)
+
+		bounds := [5]float64{lo, m2, m1, m3, hi}
+		cs := arena.ChildStart(idx)
+		for j := 0; j < 4; j++ {
+			r, rerr := rect(bounds[j], bounds[j+1])
+			if rerr != nil {
+				return rerr
+			}
+			arena.Nodes[cs+j].Rect = r
+		}
+		if err := rec(cs+0, left[:midL], bounds[0], bounds[1]); err != nil {
+			return err
+		}
+		if err := rec(cs+1, left[midL:], bounds[1], bounds[2]); err != nil {
+			return err
+		}
+		if err := rec(cs+2, right[:midR], bounds[2], bounds[3]); err != nil {
+			return err
+		}
+		return rec(cs+3, right[midR:], bounds[3], bounds[4])
+	}
+	return rec(0, vals, 0, total)
+}
+
+// splitValue runs the configured median finder over one-dimensional Hilbert
+// values, clamping the result into (lo, hi) so child intervals stay nested.
+func splitValue(cfg Config, vals []float64, lo, hi, eps float64, p *PSD) (float64, error) {
+	if hi <= lo {
+		return lo, nil
+	}
+	p.stats.MedianCalls++
+	m, err := cfg.Median.Median(vals, lo, hi, eps)
+	if err != nil {
+		return 0, err
+	}
+	if m < lo {
+		m = lo
+	}
+	if m > hi {
+		m = hi
+	}
+	return m, nil
+}
+
+// partitionValues reorders vals so entries < split come first, returning
+// their count.
+func partitionValues(vals []float64, split float64) int {
+	i, j := 0, len(vals)
+	for i < j {
+		if vals[i] < split {
+			i++
+			continue
+		}
+		j--
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return i
+}

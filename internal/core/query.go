@@ -1,0 +1,112 @@
+package core
+
+import (
+	"psd/internal/geom"
+)
+
+// QueryStats describes how a query was answered.
+type QueryStats struct {
+	// NodesAdded is n(Q): the number of node counts summed into the answer
+	// (Section 4.1). Partial leaves count too.
+	NodesAdded int
+	// NodesVisited is the number of nodes the recursion touched.
+	NodesVisited int
+	// PartialLeaves is the number of leaves answered under the uniformity
+	// assumption.
+	PartialLeaves int
+}
+
+// Query estimates the number of data points inside q using the canonical
+// range-query method of Section 4.1: starting from the root, nodes fully
+// contained in q contribute their (post-processed) count, partially
+// intersecting internal nodes recurse, and partially intersecting leaves
+// contribute under the uniformity assumption.
+func (p *PSD) Query(q geom.Rect) float64 {
+	var st QueryStats
+	return p.queryNode(0, q, &st)
+}
+
+// QueryWithStats is Query plus diagnostics.
+func (p *PSD) QueryWithStats(q geom.Rect) (float64, QueryStats) {
+	var st QueryStats
+	ans := p.queryNode(0, q, &st)
+	return ans, st
+}
+
+// TrueAnswer returns the exact count of data points in q, computed from the
+// retained exact leaf counts with exact recursion (partial leaves use the
+// uniformity assumption over true counts — the same residual error a
+// non-private tree of this height has; see the kd-pure baseline). It exists
+// for evaluation and is not part of a private release.
+func (p *PSD) TrueAnswer(q geom.Rect) float64 {
+	return p.trueNode(0, q)
+}
+
+func (p *PSD) queryNode(idx int, q geom.Rect, st *QueryStats) float64 {
+	n := &p.arena.Nodes[idx]
+	st.NodesVisited++
+	if !n.Rect.Intersects(q) {
+		return 0
+	}
+	usable := n.Published || p.postProcessed
+	if q.ContainsRect(n.Rect) && usable {
+		st.NodesAdded++
+		return n.Est
+	}
+	if p.arena.IsLeaf(idx) || n.Pruned {
+		if !usable {
+			return 0 // no released information at or below this node
+		}
+		st.NodesAdded++
+		st.PartialLeaves++
+		return n.Est * n.Rect.OverlapFraction(q)
+	}
+	var sum float64
+	cs := p.arena.ChildStart(idx)
+	for j := 0; j < 4; j++ {
+		sum += p.queryNode(cs+j, q, st)
+	}
+	return sum
+}
+
+func (p *PSD) trueNode(idx int, q geom.Rect) float64 {
+	n := &p.arena.Nodes[idx]
+	if !n.Rect.Intersects(q) {
+		return 0
+	}
+	if q.ContainsRect(n.Rect) {
+		return n.True
+	}
+	if p.arena.IsLeaf(idx) {
+		return n.True * n.Rect.OverlapFraction(q)
+	}
+	var sum float64
+	cs := p.arena.ChildStart(idx)
+	for j := 0; j < 4; j++ {
+		sum += p.trueNode(cs+j, q)
+	}
+	return sum
+}
+
+// LeafRegions returns the rectangles and estimated counts of the effective
+// leaves of the release: actual leaves plus pruned subtree roots. This is
+// the flat view applications like record matching block on.
+func (p *PSD) LeafRegions() ([]geom.Rect, []float64) {
+	var rects []geom.Rect
+	var counts []float64
+	var rec func(idx int)
+	rec = func(idx int) {
+		n := &p.arena.Nodes[idx]
+		if p.arena.IsLeaf(idx) || n.Pruned {
+			rects = append(rects, n.Rect)
+			counts = append(counts, n.Est)
+			return
+		}
+		cs := p.arena.ChildStart(idx)
+		for j := 0; j < 4; j++ {
+			rec(cs + j)
+		}
+	}
+	rec(0)
+	return rects, counts
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"psd/internal/geom"
+	"psd/internal/tree"
+)
+
+// Release is the serializable private artifact of a PSD: the tree geometry
+// plus the released counts, and nothing derived from the raw data beyond
+// them. This is what a curator actually publishes; OpenRelease reconstructs
+// a query-only tree from it with no access to the original points.
+//
+// The format is versioned JSON. Counts are the post-processed estimates
+// when post-processing ran (they are a deterministic function of the noisy
+// counts, so publishing them is free), otherwise the raw noisy counts.
+type Release struct {
+	// Version identifies the format.
+	Version int `json:"version"`
+	// Kind names the decomposition family.
+	Kind string `json:"kind"`
+	// Epsilon is the total privacy budget the release consumed.
+	Epsilon float64 `json:"epsilon"`
+	// Fanout and Height describe the complete tree.
+	Fanout int `json:"fanout"`
+	Height int `json:"height"`
+	// Domain is the released domain rectangle [lox,loy,hix,hiy].
+	Domain [4]float64 `json:"domain"`
+	// Rects holds every node rectangle in breadth-first order, flattened as
+	// [lox,loy,hix,hiy].
+	Rects [][4]float64 `json:"rects"`
+	// Counts holds the released estimate per node; NaN marks unpublished
+	// nodes (serialized as null).
+	Counts []*float64 `json:"counts"`
+	// Pruned holds the indices of pruned subtree roots.
+	Pruned []int `json:"pruned,omitempty"`
+}
+
+// releaseVersion is the current serialization version.
+const releaseVersion = 1
+
+// Release extracts the publishable artifact from a built PSD.
+func (p *PSD) Release() *Release {
+	ar := p.arena
+	rel := &Release{
+		Version: releaseVersion,
+		Kind:    p.kind.String(),
+		Epsilon: p.PrivacyCost(),
+		Fanout:  ar.Fanout(),
+		Height:  ar.Height(),
+		Domain:  flattenRect(p.domain),
+		Rects:   make([][4]float64, ar.Len()),
+		Counts:  make([]*float64, ar.Len()),
+	}
+	for i := range ar.Nodes {
+		n := &ar.Nodes[i]
+		rel.Rects[i] = flattenRect(n.Rect)
+		if n.Published || p.postProcessed {
+			v := n.Est
+			rel.Counts[i] = &v
+		}
+		if n.Pruned {
+			rel.Pruned = append(rel.Pruned, i)
+		}
+	}
+	return rel
+}
+
+// WriteTo serializes the release as JSON.
+func (r *Release) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := json.NewEncoder(cw).Encode(r); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadRelease parses a JSON release.
+func ReadRelease(r io.Reader) (*Release, error) {
+	var rel Release
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rel); err != nil {
+		return nil, fmt.Errorf("core: parsing release: %w", err)
+	}
+	return &rel, nil
+}
+
+// OpenRelease reconstructs a query-only PSD from a release. The resulting
+// tree answers Query/QueryWithStats/LeafRegions exactly as the original
+// did; TrueAnswer is unavailable (the release carries no exact counts) and
+// returns NaN-free zeros.
+func OpenRelease(rel *Release) (*PSD, error) {
+	if rel.Version != releaseVersion {
+		return nil, fmt.Errorf("core: unsupported release version %d", rel.Version)
+	}
+	if rel.Fanout != 4 {
+		return nil, fmt.Errorf("core: unsupported fanout %d", rel.Fanout)
+	}
+	ar, err := tree.NewComplete(rel.Fanout, rel.Height)
+	if err != nil {
+		return nil, err
+	}
+	if len(rel.Rects) != ar.Len() || len(rel.Counts) != ar.Len() {
+		return nil, fmt.Errorf("core: release has %d rects / %d counts for a %d-node tree",
+			len(rel.Rects), len(rel.Counts), ar.Len())
+	}
+	for i := range ar.Nodes {
+		ar.Nodes[i].Rect = unflattenRect(rel.Rects[i])
+		if !ar.Nodes[i].Rect.Valid() {
+			return nil, fmt.Errorf("core: release node %d has invalid rect", i)
+		}
+		if c := rel.Counts[i]; c != nil {
+			if math.IsNaN(*c) || math.IsInf(*c, 0) {
+				return nil, fmt.Errorf("core: release node %d has non-finite count", i)
+			}
+			ar.Nodes[i].Est = *c
+			ar.Nodes[i].Published = true
+		}
+	}
+	for _, i := range rel.Pruned {
+		if i < 0 || i >= ar.Len() {
+			return nil, fmt.Errorf("core: pruned index %d out of range", i)
+		}
+		ar.Nodes[i].Pruned = true
+	}
+	kind, err := parseKind(rel.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return &PSD{
+		kind:    kind,
+		arena:   ar,
+		domain:  unflattenRect(rel.Domain),
+		epsilon: rel.Epsilon,
+		// Per-node Published flags carry which counts exist; a release of a
+		// post-processed tree has counts everywhere, so queries behave
+		// identically to the original either way.
+		postProcessed: false,
+		countEps:      make([]float64, rel.Height+1),
+		structEps:     rel.Epsilon, // conservative: the whole spend
+	}, nil
+}
+
+func parseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown kind %q in release", s)
+}
+
+func flattenRect(r geom.Rect) [4]float64 {
+	return [4]float64{r.Lo.X, r.Lo.Y, r.Hi.X, r.Hi.Y}
+}
+
+func unflattenRect(v [4]float64) geom.Rect {
+	return geom.Rect{
+		Lo: geom.Point{X: v[0], Y: v[1]},
+		Hi: geom.Point{X: v[2], Y: v[3]},
+	}
+}

@@ -1,0 +1,74 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accountant tracks the sequential composition of differentially private
+// releases (Lemma 1) against a total budget. The tree builders use one
+// accountant per root-to-leaf path class: in a partition tree only releases
+// along the same path compose (Section 3.3), so the accountant models the
+// per-path spend, which is identical for all paths in a complete tree.
+type Accountant struct {
+	budget float64
+	spent  float64
+	items  []Charge
+}
+
+// Charge records a single composed release.
+type Charge struct {
+	Label string
+	Eps   float64
+}
+
+// NewAccountant returns an accountant for the given total ε budget.
+// A non-positive budget is allowed and means "no spending permitted".
+func NewAccountant(budget float64) *Accountant {
+	return &Accountant{budget: budget}
+}
+
+// Charge records an eps-DP release with a human-readable label. It returns
+// an error — and records nothing — if the charge would exceed the budget
+// beyond a small floating-point tolerance.
+func (a *Accountant) Charge(label string, eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("dp: negative charge %v (%s)", eps, label)
+	}
+	const tol = 1e-9
+	if a.spent+eps > a.budget*(1+tol)+tol {
+		return fmt.Errorf("dp: budget exceeded: spent %v + charge %v (%s) > budget %v",
+			a.spent, eps, label, a.budget)
+	}
+	a.spent += eps
+	a.items = append(a.items, Charge{Label: label, Eps: eps})
+	return nil
+}
+
+// Spent returns the total ε consumed so far.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() float64 {
+	return math.Max(0, a.budget-a.spent)
+}
+
+// Budget returns the configured total budget.
+func (a *Accountant) Budget() float64 { return a.budget }
+
+// Charges returns a copy of the recorded charges, in order.
+func (a *Accountant) Charges() []Charge {
+	out := make([]Charge, len(a.items))
+	copy(out, a.items)
+	return out
+}
+
+// Compose returns the sequential composition of a set of per-release
+// epsilons: their sum (Lemma 1).
+func Compose(eps ...float64) float64 {
+	var total float64
+	for _, e := range eps {
+		total += e
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"psd/internal/budget"
+)
+
+// This file renders experiment results as the text tables cmd/psdbench
+// prints — the same rows/series the paper's figures plot.
+
+// PrintFigure2 writes the Figure 2 closed-form curves.
+func PrintFigure2(w io.Writer, rows []budget.Figure2Row) {
+	fmt.Fprintln(w, "Figure 2: worst-case Err(Q), uniform vs geometric budget (x 16/eps^2)")
+	fmt.Fprintf(w, "%4s %16s %16s %8s\n", "h", "uniform", "geometric", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %16.1f %16.1f %8.2f\n", r.H, r.Uniform, r.Geometric, r.Uniform/r.Geometric)
+	}
+}
+
+// PrintFigure3 writes the quadtree-optimization comparison.
+func PrintFigure3(w io.Writer, rows []Figure3Row) {
+	fmt.Fprintln(w, "Figure 3: quadtree optimizations, median relative error (%)")
+	fmt.Fprintf(w, "%6s %10s %14s %10s %10s %10s\n",
+		"eps", "shape", "quad-baseline", "quad-geo", "quad-post", "quad-opt")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6.2f %10s %14.3f %10.3f %10.3f %10.3f\n",
+			r.Eps, r.Shape, r.Baseline, r.Geo, r.Post, r.Opt)
+	}
+}
+
+// PrintFigure4 writes the private-median quality and timing study.
+func PrintFigure4(w io.Writer, rows []Figure4Row) {
+	fmt.Fprintln(w, "Figure 4: private medians, avg rank error (%) and time per depth")
+	fmt.Fprintf(w, "%6s %6s %12s %14s\n", "method", "depth", "rank-err(%)", "time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6s %6d %12.2f %14s\n", r.Method, r.Depth, r.RankErr, r.Time)
+	}
+}
+
+// PrintFigure5 writes the kd-tree family comparison.
+func PrintFigure5(w io.Writer, rows []Figure5Row) {
+	fmt.Fprintln(w, "Figure 5: kd-tree variants, median relative error (%)")
+	order := []string{"kd-pure", "kd-true", "kd-standard", "kd-hybrid", "kd-cell", "kd-noisymean"}
+	fmt.Fprintf(w, "%6s %10s", "eps", "shape")
+	for _, m := range order {
+		fmt.Fprintf(w, " %13s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6.2f %10s", r.Eps, r.Shape)
+		for _, m := range order {
+			fmt.Fprintf(w, " %13.3f", r.Errors[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFigure6 writes the best-of-family height sweep.
+func PrintFigure6(w io.Writer, rows []Figure6Row) {
+	fmt.Fprintln(w, "Figure 6: accuracy vs height (eps=0.5), median relative error (%)")
+	order := []string{"quad-opt", "kd-hybrid", "kd-cell", "hilbert-r"}
+	fmt.Fprintf(w, "%4s %10s", "h", "shape")
+	for _, m := range order {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %10s", r.Height, r.Shape)
+		for _, m := range order {
+			fmt.Fprintf(w, " %12.3f", r.Errors[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFigure7a writes the construction-time comparison.
+func PrintFigure7a(w io.Writer, rows []Figure7aRow) {
+	fmt.Fprintln(w, "Figure 7a: construction time")
+	fmt.Fprintf(w, "%12s %14s %10s\n", "method", "build-time", "nodes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %14s %10d\n", r.Method, r.Build, r.Nodes)
+	}
+}
+
+// PrintFigure7b writes the record-matching reduction ratios.
+func PrintFigure7b(w io.Writer, rows []Figure7bRow) {
+	fmt.Fprintln(w, "Figure 7b: private record matching, reduction ratio")
+	order := []string{"quad-baseline", "kd-noisymean", "kd-standard"}
+	fmt.Fprintf(w, "%6s", "eps")
+	for _, m := range order {
+		fmt.Fprintf(w, " %14s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6.2f", r.Eps)
+		for _, m := range order {
+			fmt.Fprintf(w, " %14.4f", r.Ratios[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintGridBaseline writes the flat-grid-vs-PSD comparison.
+func PrintGridBaseline(w io.Writer, rows []GridBaselineRow) {
+	fmt.Fprintln(w, "Grid baseline [6] vs optimized quadtree, median relative error (%)")
+	fmt.Fprintf(w, "%10s %10s %12s %12s\n", "shape", "grid", "quad-opt", "grid-dims")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10s %10.3f %12.3f %12s\n", r.Shape, r.GridErr, r.QuadErr, r.GridDims)
+	}
+}
+
+// PrintSweep writes a one-parameter ablation sweep.
+func PrintSweep(w io.Writer, title, param string, rows []SweepRow) {
+	fmt.Fprintln(w, title)
+	if len(rows) == 0 {
+		return
+	}
+	shapes := make([]string, 0, len(rows[0].Errors))
+	for s := range rows[0].Errors {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	fmt.Fprintf(w, "%10s", param)
+	for _, s := range shapes {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10.3g", r.Param)
+		for _, s := range shapes {
+			fmt.Fprintf(w, " %12.3f", r.Errors[s])
+		}
+		fmt.Fprintln(w)
+	}
+}

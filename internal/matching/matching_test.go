@@ -1,0 +1,157 @@
+package matching
+
+import (
+	"testing"
+
+	"psd/internal/geom"
+	"psd/internal/rng"
+)
+
+// parties generates two point sets with overlapping hotspots: both cluster
+// in a handful of cities, but not the same ones.
+func parties(nA, nB int, dom geom.Rect, seed int64) (a, b []geom.Point) {
+	src := rng.New(seed)
+	cities := make([]geom.Point, 8)
+	for i := range cities {
+		cities[i] = geom.Point{
+			X: src.UniformIn(dom.Lo.X, dom.Hi.X),
+			Y: src.UniformIn(dom.Lo.Y, dom.Hi.Y),
+		}
+	}
+	// Tight hotspots (σ = 1% of the domain): the skew regime of real
+	// address data, where a fixed quadtree grid piles whole cities into
+	// single heavy cells while adaptive splits subdivide them.
+	gen := func(n int, cityLo, cityHi int) []geom.Point {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			c := cities[cityLo+src.Intn(cityHi-cityLo)]
+			pts[i] = geom.Point{
+				X: clamp(c.X+src.Gaussian(0, dom.Width()/100), dom.Lo.X, dom.Hi.X-1e-9),
+				Y: clamp(c.Y+src.Gaussian(0, dom.Height()/100), dom.Lo.Y, dom.Hi.Y-1e-9),
+			}
+		}
+		return pts
+	}
+	// A uses cities 0-5, B uses 3-8: partial overlap.
+	return gen(nA, 0, 6), gen(nB, 3, 8)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestRunValidation(t *testing.T) {
+	dom := geom.NewRect(0, 0, 100, 100)
+	a, b := parties(100, 100, dom, 1)
+	if _, err := Run(nil, b, dom, Config{Epsilon: 0.5}); err == nil {
+		t.Error("empty party A should error")
+	}
+	if _, err := Run(a, nil, dom, Config{Epsilon: 0.5}); err == nil {
+		t.Error("empty party B should error")
+	}
+	if _, err := Run(a, b, dom, Config{Epsilon: 0.5, Method: Method(9)}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestReductionRatioBasics(t *testing.T) {
+	dom := geom.NewRect(0, 0, 100, 100)
+	a, b := parties(3000, 3000, dom, 2)
+	for _, m := range []Method{QuadBaseline, KDNoisyMean, KDStandard} {
+		res, err := Run(a, b, dom, Config{Method: m, Epsilon: 0.5, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.ReductionRatio <= 0 || res.ReductionRatio > 1 {
+			t.Errorf("%v: reduction ratio %v outside (0,1]", m, res.ReductionRatio)
+		}
+		if res.Recall < 0 || res.Recall > 1 {
+			t.Errorf("%v: recall %v outside [0,1]", m, res.Recall)
+		}
+		if res.Pairs < 0 {
+			t.Errorf("%v: negative pairs %v", m, res.Pairs)
+		}
+		if res.Regions == 0 {
+			t.Errorf("%v: no blocking regions", m)
+		}
+	}
+}
+
+// More budget means less padding noise, so the filter eliminates more
+// comparisons — the x-axis trend of Figure 7(b).
+func TestReductionRatioImprovesWithEpsilon(t *testing.T) {
+	dom := geom.NewRect(0, 0, 100, 100)
+	a, b := parties(12000, 12000, dom, 3)
+	avg := func(eps float64) float64 {
+		var sum float64
+		const trials = 5
+		for s := int64(0); s < trials; s++ {
+			res, err := Run(a, b, dom, Config{Method: KDStandard, Epsilon: eps, Seed: 100 + s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.ReductionRatio
+		}
+		return sum / trials
+	}
+	lo, hi := avg(0.05), avg(0.5)
+	if hi <= lo {
+		t.Errorf("reduction ratio should improve with eps: eps=0.05 %v, eps=0.5 %v", lo, hi)
+	}
+}
+
+// The paper's Figure 7(b) headline: kd-standard beats both prior methods.
+func TestKDStandardWins(t *testing.T) {
+	dom := geom.NewRect(0, 0, 100, 100)
+	a, b := parties(20000, 20000, dom, 4)
+	avg := func(m Method) float64 {
+		var sum float64
+		const trials = 5
+		for s := int64(0); s < trials; s++ {
+			res, err := Run(a, b, dom, Config{Method: m, Epsilon: 0.3, Seed: 200 + s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.ReductionRatio
+		}
+		return sum / trials
+	}
+	std := avg(KDStandard)
+	nm := avg(KDNoisyMean)
+	quad := avg(QuadBaseline)
+	if std <= nm {
+		t.Errorf("kd-standard (%v) should beat kd-noisymean (%v)", std, nm)
+	}
+	if std <= quad {
+		t.Errorf("kd-standard (%v) should beat quad-baseline (%v)", std, quad)
+	}
+}
+
+func TestHighEpsilonHighRecall(t *testing.T) {
+	dom := geom.NewRect(0, 0, 100, 100)
+	a, b := parties(12000, 12000, dom, 5)
+	res, err := Run(a, b, dom, Config{Method: KDStandard, Epsilon: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall < 0.95 {
+		t.Errorf("recall at eps=5 = %v, want > 0.95", res.Recall)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if QuadBaseline.String() != "quad-baseline" ||
+		KDNoisyMean.String() != "kd-noisymean" ||
+		KDStandard.String() != "kd-standard" {
+		t.Error("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method should still format")
+	}
+}

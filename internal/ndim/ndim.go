@@ -1,0 +1,509 @@
+// Package ndim extends the private spatial decompositions to d dimensions,
+// the generalization the paper sketches: Section 4 remarks that the Lemma 2
+// node-count analysis "extends to d dimensional decompositions, where the
+// behavior is n(Q) = O(f^{h(1-1/d)})", and Section 9 names higher
+// dimensional data as ongoing work.
+//
+// The package implements the data-independent member of the family — the
+// generalized quadtree (octree for d = 3, hyperoctree in general) with
+// midpoint splits and fanout 2^d — together with the full count pipeline of
+// the 2-D engine: per-level Laplace budgets from a budget.Strategy, the
+// three-phase OLS post-processing of Section 5 (which is dimension-
+// agnostic: it only sees the complete tree), and canonical range queries
+// with the uniformity assumption.
+//
+// Points and boxes are plain float64 slices; dimensions up to MaxDims are
+// supported, bounded by the 2^d fanout.
+package ndim
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/budget"
+	"psd/internal/dp"
+	"psd/internal/rng"
+)
+
+// MaxDims bounds the dimensionality (fanout 2^d grows fast; 6 dims is a
+// 64-ary tree).
+const MaxDims = 6
+
+// Box is an axis-aligned half-open box: [Lo[i], Hi[i]) per dimension.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// NewBox validates and returns a box over the given bounds.
+func NewBox(lo, hi []float64) (Box, error) {
+	if len(lo) != len(hi) {
+		return Box{}, fmt.Errorf("ndim: bounds have %d and %d dims", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Box{}, fmt.Errorf("ndim: zero-dimensional box")
+	}
+	for i := range lo {
+		if !(lo[i] < hi[i]) || math.IsNaN(lo[i]) || math.IsInf(lo[i], 0) || math.IsInf(hi[i], 0) {
+			return Box{}, fmt.Errorf("ndim: invalid extent [%v, %v) in dim %d", lo[i], hi[i], i)
+		}
+	}
+	return Box{Lo: append([]float64(nil), lo...), Hi: append([]float64(nil), hi...)}, nil
+}
+
+// Dims returns the box's dimensionality.
+func (b Box) Dims() int { return len(b.Lo) }
+
+// Volume returns the product of the box's extents.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Lo {
+		v *= b.Hi[i] - b.Lo[i]
+	}
+	return v
+}
+
+// Contains reports whether p lies inside the half-open box.
+func (b Box) Contains(p []float64) bool {
+	for i := range b.Lo {
+		if p[i] < b.Lo[i] || p[i] >= b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o lies entirely within b.
+func (b Box) ContainsBox(o Box) bool {
+	for i := range b.Lo {
+		if o.Lo[i] < b.Lo[i] || o.Hi[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and o share interior volume.
+func (b Box) Intersects(o Box) bool {
+	for i := range b.Lo {
+		if b.Lo[i] >= o.Hi[i] || o.Lo[i] >= b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapFraction returns vol(b ∩ q)/vol(b), the d-dimensional uniformity
+// weight; 0 for empty boxes or no overlap.
+func (b Box) OverlapFraction(q Box) float64 {
+	vol := b.Volume()
+	if vol <= 0 {
+		return 0
+	}
+	inter := 1.0
+	for i := range b.Lo {
+		lo := math.Max(b.Lo[i], q.Lo[i])
+		hi := math.Min(b.Hi[i], q.Hi[i])
+		if hi <= lo {
+			return 0
+		}
+		inter *= hi - lo
+	}
+	return inter / vol
+}
+
+// orthant returns the k-th orthant of b (bit i of k selects the upper half
+// along dimension i).
+func (b Box) orthant(k int) Box {
+	lo := make([]float64, b.Dims())
+	hi := make([]float64, b.Dims())
+	for i := range b.Lo {
+		mid := (b.Lo[i] + b.Hi[i]) / 2
+		if k&(1<<i) == 0 {
+			lo[i], hi[i] = b.Lo[i], mid
+		} else {
+			lo[i], hi[i] = mid, b.Hi[i]
+		}
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Config controls a d-dimensional build.
+type Config struct {
+	// Height is the tree height; the tree has (2^d)^Height leaves.
+	Height int
+	// Epsilon is the total privacy budget.
+	Epsilon float64
+	// Strategy allocates the budget per level (default budget.Geometric
+	// with the d-dimensional optimal ratio; see OptimalRatio).
+	Strategy budget.Strategy
+	// PostProcess runs the OLS re-estimation (default recommended).
+	PostProcess bool
+	// Noise is the count mechanism (default seeded Laplace).
+	Noise dp.NoiseSource
+	// Seed fixes randomness.
+	Seed int64
+	// NonPrivate builds the exact baseline (no noise; Epsilon ignored).
+	NonPrivate bool
+}
+
+// OptimalRatio returns the geometric budget ratio minimizing the worst-case
+// error model in d dimensions: the Lemma 2 remark gives n_i growing by
+// f^(1-1/d) per level with f = 2^d, so the Cauchy–Schwarz optimum of
+// Lemma 3 becomes (2^(d-1))^(1/3).
+func OptimalRatio(d int) float64 {
+	return math.Cbrt(math.Pow(2, float64(d-1)))
+}
+
+// Tree is a built d-dimensional private decomposition.
+type Tree struct {
+	dims    int
+	fanout  int
+	height  int
+	offsets []int
+	boxes   []Box
+	trueCt  []float64
+	est     []float64
+	pub     []bool
+	eps     []float64
+	epsilon float64
+}
+
+// node count helpers mirroring internal/tree, for fanout 2^d.
+func levelOffsets(fanout, height int) ([]int, error) {
+	offsets := make([]int, height+2)
+	total, size := 0, 1
+	for dph := 0; dph <= height; dph++ {
+		offsets[dph] = total
+		total += size
+		if total > 1<<24 {
+			return nil, fmt.Errorf("ndim: tree too large (fanout %d, height %d)", fanout, height)
+		}
+		size *= fanout
+	}
+	offsets[height+1] = total
+	return offsets, nil
+}
+
+// Build constructs the decomposition over points inside domain. Points
+// outside the domain are clamped; non-finite coordinates are an error.
+func Build(points [][]float64, domain Box, cfg Config) (*Tree, error) {
+	d := domain.Dims()
+	if d < 1 || d > MaxDims {
+		return nil, fmt.Errorf("ndim: %d dimensions outside [1,%d]", d, MaxDims)
+	}
+	if cfg.Height < 0 {
+		return nil, fmt.Errorf("ndim: negative height")
+	}
+	if !cfg.NonPrivate && (cfg.Epsilon <= 0 || math.IsNaN(cfg.Epsilon) || math.IsInf(cfg.Epsilon, 0)) {
+		return nil, fmt.Errorf("ndim: invalid epsilon %v", cfg.Epsilon)
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = budget.Geometric{Ratio: OptimalRatio(d)}
+	}
+	if cfg.Noise == nil {
+		if cfg.NonPrivate {
+			cfg.Noise = dp.ZeroNoise{}
+		} else {
+			cfg.Noise = newSeededLaplace(cfg.Seed)
+		}
+	}
+	fanout := 1 << d
+	offsets, err := levelOffsets(fanout, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	total := offsets[cfg.Height+1]
+	t := &Tree{
+		dims:    d,
+		fanout:  fanout,
+		height:  cfg.Height,
+		offsets: offsets,
+		boxes:   make([]Box, total),
+		trueCt:  make([]float64, total),
+		est:     make([]float64, total),
+		pub:     make([]bool, total),
+		epsilon: cfg.Epsilon,
+	}
+
+	// Clamp points into the domain.
+	pts := make([][]float64, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("ndim: point %d has %d dims, want %d", i, len(p), d)
+		}
+		q := make([]float64, d)
+		for k, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("ndim: point %d has non-finite coordinate", i)
+			}
+			if v < domain.Lo[k] {
+				v = domain.Lo[k]
+			}
+			if v >= domain.Hi[k] {
+				v = math.Nextafter(domain.Hi[k], math.Inf(-1))
+			}
+			q[k] = v
+		}
+		pts[i] = q
+	}
+
+	// Structure + exact counts by recursive orthant partition.
+	t.boxes[0] = domain
+	var rec func(idx int, pts [][]float64, depth int)
+	rec = func(idx int, sub [][]float64, depth int) {
+		t.trueCt[idx] = float64(len(sub))
+		if depth == cfg.Height {
+			return
+		}
+		box := t.boxes[idx]
+		cs := t.childStart(idx)
+		// Bucket points by orthant (stable, out-of-place; subtree slices
+		// stay views into this node's buffer region).
+		buckets := make([][][]float64, fanout)
+		for _, p := range sub {
+			k := 0
+			for i := 0; i < d; i++ {
+				if p[i] >= (box.Lo[i]+box.Hi[i])/2 {
+					k |= 1 << i
+				}
+			}
+			buckets[k] = append(buckets[k], p)
+		}
+		for k := 0; k < fanout; k++ {
+			t.boxes[cs+k] = box.orthant(k)
+			rec(cs+k, buckets[k], depth+1)
+		}
+	}
+	rec(0, pts, 0)
+
+	// Counts per level.
+	var levels []float64
+	if cfg.NonPrivate {
+		levels = make([]float64, cfg.Height+1)
+		for i := range t.est {
+			t.est[i] = t.trueCt[i]
+			t.pub[i] = true
+		}
+	} else {
+		levels, err = cfg.Strategy.Levels(cfg.Height, cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		noisy := make([]float64, total)
+		for dph := 0; dph <= cfg.Height; dph++ {
+			eps := levels[cfg.Height-dph]
+			lo, hi := offsets[dph], offsets[dph+1]
+			for i := lo; i < hi; i++ {
+				if eps > 0 {
+					noisy[i] = cfg.Noise.Add(t.trueCt[i], 1, eps)
+					t.pub[i] = true
+				}
+			}
+		}
+		if cfg.PostProcess {
+			if err := estimateOLS(t, noisy, levels); err != nil {
+				return nil, err
+			}
+		} else {
+			for i := range noisy {
+				if t.pub[i] {
+					t.est[i] = noisy[i]
+				}
+			}
+		}
+	}
+	t.eps = levels
+	return t, nil
+}
+
+func (t *Tree) childStart(idx int) int {
+	dph := t.depth(idx)
+	pos := idx - t.offsets[dph]
+	return t.offsets[dph+1] + pos*t.fanout
+}
+
+func (t *Tree) parent(idx int) int {
+	if idx == 0 {
+		return -1
+	}
+	dph := t.depth(idx)
+	pos := idx - t.offsets[dph]
+	return t.offsets[dph-1] + pos/t.fanout
+}
+
+func (t *Tree) depth(idx int) int {
+	for dph := t.height; dph >= 0; dph-- {
+		if idx >= t.offsets[dph] {
+			return dph
+		}
+	}
+	panic("ndim: index out of range")
+}
+
+func (t *Tree) isLeaf(idx int) bool { return idx >= t.offsets[t.height] }
+
+// Dims returns the tree's dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Fanout returns 2^d.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.boxes) }
+
+// PrivacyCost returns the per-path composition Σ ε_i.
+func (t *Tree) PrivacyCost() float64 {
+	var sum float64
+	for _, e := range t.eps {
+		sum += e
+	}
+	return sum
+}
+
+// Count estimates the number of points in q by the canonical method with
+// the d-dimensional uniformity assumption.
+func (t *Tree) Count(q Box) float64 {
+	if q.Dims() != t.dims {
+		return math.NaN()
+	}
+	return t.queryNode(0, q)
+}
+
+func (t *Tree) queryNode(idx int, q Box) float64 {
+	box := t.boxes[idx]
+	if !box.Intersects(q) {
+		return 0
+	}
+	usable := t.pub[idx]
+	if q.ContainsBox(box) && usable {
+		return t.est[idx]
+	}
+	if t.isLeaf(idx) {
+		if !usable {
+			return 0
+		}
+		return t.est[idx] * box.OverlapFraction(q)
+	}
+	var sum float64
+	cs := t.childStart(idx)
+	for k := 0; k < t.fanout; k++ {
+		sum += t.queryNode(cs+k, q)
+	}
+	return sum
+}
+
+// TrueCount returns the exact canonical-recursion answer (evaluation only).
+func (t *Tree) TrueCount(q Box) float64 {
+	return t.trueNode(0, q)
+}
+
+func (t *Tree) trueNode(idx int, q Box) float64 {
+	box := t.boxes[idx]
+	if !box.Intersects(q) {
+		return 0
+	}
+	if q.ContainsBox(box) {
+		return t.trueCt[idx]
+	}
+	if t.isLeaf(idx) {
+		return t.trueCt[idx] * box.OverlapFraction(q)
+	}
+	var sum float64
+	cs := t.childStart(idx)
+	for k := 0; k < t.fanout; k++ {
+		sum += t.trueNode(cs+k, q)
+	}
+	return sum
+}
+
+// estimateOLS is the Section 5 three-phase algorithm for arbitrary fanout —
+// the same computation as internal/ols.Estimate, restated over this
+// package's arena (the 2-D implementation is tied to the fanout-4 node
+// type). TestOLSAgreesWith2D pins the two implementations to each other.
+func estimateOLS(t *Tree, noisy, epsByLevel []float64) error {
+	h := t.height
+	eps2 := make([]float64, h+1)
+	for i, e := range epsByLevel {
+		if e < 0 || math.IsNaN(e) {
+			return fmt.Errorf("ndim: invalid ε_%d = %v", i, e)
+		}
+		eps2[i] = e * e
+	}
+	if eps2[0] == 0 {
+		return fmt.Errorf("ndim: leaf level carries no budget")
+	}
+	f := float64(t.fanout)
+	powF := make([]float64, h+1)
+	E := make([]float64, h+1)
+	fj, acc := 1.0, 0.0
+	for j := 0; j <= h; j++ {
+		powF[j] = fj
+		acc += fj * eps2[j]
+		E[j] = acc
+		fj *= f
+	}
+	pubNoisy := func(i, level int) float64 {
+		if !t.pub[i] {
+			return 0
+		}
+		_ = level
+		return noisy[i]
+	}
+	z := make([]float64, t.Len())
+	z[0] = eps2[h] * pubNoisy(0, h)
+	for dph := 1; dph <= h; dph++ {
+		lo, hi := t.offsets[dph], t.offsets[dph+1]
+		level := h - dph
+		for i := lo; i < hi; i++ {
+			z[i] = z[t.parent(i)] + eps2[level]*pubNoisy(i, level)
+		}
+	}
+	for dph := h - 1; dph >= 0; dph-- {
+		lo, hi := t.offsets[dph], t.offsets[dph+1]
+		for i := lo; i < hi; i++ {
+			cs := t.childStart(i)
+			var sum float64
+			for k := 0; k < t.fanout; k++ {
+				sum += z[cs+k]
+			}
+			z[i] = sum
+		}
+	}
+	F := make([]float64, t.Len())
+	t.est[0] = z[0] / E[h]
+	t.pub[0] = true
+	for dph := 1; dph <= h; dph++ {
+		lo, hi := t.offsets[dph], t.offsets[dph+1]
+		level := h - dph
+		for i := lo; i < hi; i++ {
+			p := t.parent(i)
+			F[i] = F[p] + t.est[p]*eps2[level+1]
+			t.est[i] = (z[i] - powF[level]*F[i]) / E[level]
+			t.pub[i] = true
+		}
+	}
+	return nil
+}
+
+// newSeededLaplace builds a deterministic Laplace source.
+func newSeededLaplace(seed int64) dp.NoiseSource {
+	return dp.NewLaplace(rng.New(seed ^ 0x6e64696d))
+}
+
+// maximalNodes counts the nodes maximally contained in q (partial leaves
+// included) — the n(Q) statistic of the Section 4 error analysis.
+func (t *Tree) maximalNodes(idx int, q Box) int {
+	box := t.boxes[idx]
+	if !box.Intersects(q) {
+		return 0
+	}
+	if q.ContainsBox(box) || t.isLeaf(idx) {
+		return 1
+	}
+	n := 0
+	cs := t.childStart(idx)
+	for k := 0; k < t.fanout; k++ {
+		n += t.maximalNodes(cs+k, q)
+	}
+	return n
+}

@@ -1,0 +1,331 @@
+package ndim
+
+import (
+	"math"
+	"testing"
+
+	"psd/internal/budget"
+	"psd/internal/core"
+	"psd/internal/geom"
+	"psd/internal/rng"
+)
+
+func cube(d int, lo, hi float64) Box {
+	l := make([]float64, d)
+	h := make([]float64, d)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	b, err := NewBox(l, h)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func randPoints(n, d int, box Box, seed int64) [][]float64 {
+	src := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for k := 0; k < d; k++ {
+			p[k] = src.UniformIn(box.Lo[k], box.Hi[k])
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	if _, err := NewBox(nil, nil); err == nil {
+		t.Error("zero dims should error")
+	}
+	if _, err := NewBox([]float64{1}, []float64{1}); err == nil {
+		t.Error("degenerate extent should error")
+	}
+	if _, err := NewBox([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN bound should error")
+	}
+}
+
+func TestBoxOperations(t *testing.T) {
+	b := cube(3, 0, 4)
+	if b.Volume() != 64 {
+		t.Errorf("Volume = %v, want 64", b.Volume())
+	}
+	if !b.Contains([]float64{0, 0, 0}) || b.Contains([]float64{4, 0, 0}) {
+		t.Error("half-open containment wrong")
+	}
+	inner := cube(3, 1, 2)
+	if !b.ContainsBox(inner) || !b.Intersects(inner) {
+		t.Error("containment/intersection wrong")
+	}
+	far := cube(3, 10, 11)
+	if b.Intersects(far) {
+		t.Error("disjoint boxes intersect")
+	}
+	if got := inner.OverlapFraction(b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full overlap fraction = %v", got)
+	}
+	half, _ := NewBox([]float64{0, 0, 0}, []float64{2, 4, 4})
+	if got := b.OverlapFraction(half); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half overlap fraction = %v", got)
+	}
+}
+
+func TestOrthantsTile(t *testing.T) {
+	b := cube(3, 0, 8)
+	var vol float64
+	for k := 0; k < 8; k++ {
+		o := b.orthant(k)
+		vol += o.Volume()
+		if !b.ContainsBox(o) {
+			t.Errorf("orthant %d escapes parent", k)
+		}
+		for j := 0; j < k; j++ {
+			if o.Intersects(b.orthant(j)) {
+				t.Errorf("orthants %d and %d overlap", k, j)
+			}
+		}
+	}
+	if math.Abs(vol-b.Volume()) > 1e-9 {
+		t.Errorf("orthant volumes sum to %v, want %v", vol, b.Volume())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	box3 := cube(3, 0, 1)
+	if _, err := Build(nil, Box{}, Config{Height: 1, Epsilon: 1}); err == nil {
+		t.Error("empty domain should error")
+	}
+	if _, err := Build(nil, box3, Config{Height: -1, Epsilon: 1}); err == nil {
+		t.Error("negative height should error")
+	}
+	if _, err := Build(nil, box3, Config{Height: 1}); err == nil {
+		t.Error("zero epsilon should error")
+	}
+	if _, err := Build([][]float64{{0.5}}, box3, Config{Height: 1, Epsilon: 1}); err == nil {
+		t.Error("dim-mismatched point should error")
+	}
+	if _, err := Build([][]float64{{math.NaN(), 0, 0}}, box3, Config{Height: 1, Epsilon: 1}); err == nil {
+		t.Error("NaN point should error")
+	}
+	if _, err := Build(nil, cube(3, 0, 1), Config{Height: 9, Epsilon: 1}); err == nil {
+		t.Error("oversized tree should error")
+	}
+}
+
+func TestOctreeExactCounts(t *testing.T) {
+	box := cube(3, 0, 8)
+	pts := randPoints(4096, 3, box, 1)
+	tr, err := Build(pts, box, Config{Height: 2, NonPrivate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dims() != 3 || tr.Fanout() != 8 {
+		t.Errorf("dims/fanout = %d/%d", tr.Dims(), tr.Fanout())
+	}
+	if got := tr.Count(box); math.Abs(got-4096) > 1e-9 {
+		t.Errorf("full count = %v, want 4096", got)
+	}
+	// Octant-aligned queries are exact.
+	oct := cube(3, 0, 4)
+	want := 0.0
+	for _, p := range pts {
+		if oct.Contains(p) {
+			want++
+		}
+	}
+	if got := tr.Count(oct); math.Abs(got-want) > 1e-9 {
+		t.Errorf("octant count = %v, want %v", got, want)
+	}
+	// Query equals the exact recursion for arbitrary boxes.
+	q, _ := NewBox([]float64{0.7, 1.3, 2.9}, []float64{5.1, 6.6, 7.2})
+	if got, wantU := tr.Count(q), tr.TrueCount(q); math.Abs(got-wantU) > 1e-9 {
+		t.Errorf("unaligned count = %v, want %v", got, wantU)
+	}
+}
+
+func TestPrivacyCostAndNoise(t *testing.T) {
+	box := cube(4, 0, 16)
+	pts := randPoints(2000, 4, box, 2)
+	tr, err := Build(pts, box, Config{Height: 2, Epsilon: 0.8, Seed: 3, PostProcess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PrivacyCost(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("PrivacyCost = %v, want 0.8", got)
+	}
+	got := tr.Count(box)
+	if math.Abs(got-2000) > 500 {
+		t.Errorf("full count = %v, want ≈ 2000", got)
+	}
+	// Dim-mismatched query returns NaN rather than nonsense.
+	if !math.IsNaN(tr.Count(cube(2, 0, 1))) {
+		t.Error("dim mismatch should return NaN")
+	}
+}
+
+func TestOptimalRatio(t *testing.T) {
+	// d=2 recovers Lemma 3's 2^(1/3).
+	if got := OptimalRatio(2); math.Abs(got-math.Cbrt(2)) > 1e-12 {
+		t.Errorf("OptimalRatio(2) = %v, want 2^(1/3)", got)
+	}
+	// Higher dimensions grow the ratio: more of n(Q) concentrates at the
+	// leaves (n(Q) = O(f^{h(1-1/d)})).
+	if OptimalRatio(3) <= OptimalRatio(2) {
+		t.Error("optimal ratio should grow with d")
+	}
+}
+
+// The d-dimensional OLS restatement must agree exactly with the 2-D
+// implementation: build the same structure through both engines with the
+// same noisy counts and compare every estimate.
+func TestOLSAgreesWith2D(t *testing.T) {
+	src := rng.New(7)
+	const h = 3
+	dom2 := geom.NewRect(0, 0, 16, 16)
+	var pts2 []geom.Point
+	var ptsN [][]float64
+	for i := 0; i < 1500; i++ {
+		x, y := src.UniformIn(0, 16), src.UniformIn(0, 16)
+		pts2 = append(pts2, geom.Point{X: x, Y: y})
+		ptsN = append(ptsN, []float64{x, y})
+	}
+	// Same seed/noise through the same dp.Laplace stream order requires the
+	// same node enumeration; instead compare with zero noise, where OLS is
+	// the identity on consistent inputs, and separately with a shared
+	// deterministic "noise" pattern below.
+	p2, err := core.Build(pts2, dom2, core.Config{Kind: core.Quadtree, Height: h, NonPrivate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box2 := cube(2, 0, 16)
+	pn, err := Build(ptsN, box2, Config{Height: h, NonPrivate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Len() != pn.Len() {
+		t.Fatalf("node counts differ: %d vs %d", p2.Len(), pn.Len())
+	}
+	// Exact counts agree per node index modulo child ordering; compare
+	// through queries instead, which are ordering-independent.
+	for trial := 0; trial < 50; trial++ {
+		x1, x2 := src.UniformIn(0, 16), src.UniformIn(0, 16)
+		y1, y2 := src.UniformIn(0, 16), src.UniformIn(0, 16)
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		if x2 <= x1 || y2 <= y1 {
+			continue
+		}
+		q2 := geom.NewRect(x1, y1, x2, y2)
+		qn, _ := NewBox([]float64{x1, y1}, []float64{x2, y2})
+		a, b := p2.Query(q2), pn.Count(qn)
+		if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+			t.Fatalf("2-D %v vs ndim %v on %v", a, b, q2)
+		}
+	}
+
+	// Now with noise: both engines get identical per-node "noise" via a
+	// deterministic pattern source, then OLS runs in each; estimates must
+	// agree through queries (the OLS solution is unique).
+	pattern := &patternNoise{}
+	p2n, err := core.Build(pts2, dom2, core.Config{
+		Kind: core.Quadtree, Height: h, Epsilon: 1, Noise: pattern,
+		Strategy: budget.Geometric{}, PostProcess: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern2 := &patternNoise{}
+	pnn, err := Build(ptsN, box2, Config{
+		Height: h, Epsilon: 1, Noise: pattern2,
+		Strategy: budget.Geometric{}, PostProcess: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two engines enumerate nodes in different child orders, so
+	// per-node noise differs; but with a value-dependent deterministic
+	// pattern (noise = g(true count, eps)) the multiset of (node, noisy)
+	// pairs per region is identical, and query answers must match.
+	for trial := 0; trial < 50; trial++ {
+		x1, x2 := src.UniformIn(0, 16), src.UniformIn(0, 16)
+		y1, y2 := src.UniformIn(0, 16), src.UniformIn(0, 16)
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		if x2 <= x1 || y2 <= y1 {
+			continue
+		}
+		a := p2n.Query(geom.NewRect(x1, y1, x2, y2))
+		qn, _ := NewBox([]float64{x1, y1}, []float64{x2, y2})
+		b := pnn.Count(qn)
+		if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+			t.Fatalf("post-processed: 2-D %v vs ndim %v", a, b)
+		}
+	}
+}
+
+// patternNoise perturbs deterministically as a function of (value, eps):
+// the same logical node gets the same "noise" in both engines regardless of
+// enumeration order.
+type patternNoise struct{}
+
+func (patternNoise) Add(value, _, eps float64) float64 {
+	return value + math.Sin(value*13.37+eps*7.7)/eps
+}
+
+func (patternNoise) Variance(_, eps float64) float64 { return 0.5 / (eps * eps) }
+
+// The Lemma 2 d-dimensional remark: worst-case n(Q) grows like
+// f^{h(1-1/d)} = (2^(d-1))^h. Verify empirically that an octree's maximal
+// node count for large queries exceeds the quadtree's at equal height
+// (more dimensions → more boundary).
+func TestNodeGrowthWithDimension(t *testing.T) {
+	src := rng.New(11)
+	count := func(d, h int) int {
+		box := cube(d, 0, 1)
+		pts := randPoints(512, d, box, int64(d*100+h))
+		tr, err := Build(pts, box, Config{Height: h, NonPrivate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0
+		for trial := 0; trial < 40; trial++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for k := 0; k < d; k++ {
+				a, b := src.UniformIn(0, 1), src.UniformIn(0, 1)
+				if b < a {
+					a, b = b, a
+				}
+				lo[k], hi[k] = a*0.3, 0.6+b*0.4 // large-ish boxes
+			}
+			q, err := NewBox(lo, hi)
+			if err != nil {
+				continue
+			}
+			n := tr.maximalNodes(0, q)
+			if n > worst {
+				worst = n
+			}
+		}
+		return worst
+	}
+	q2 := count(2, 3)
+	q3 := count(3, 3)
+	if q3 <= q2 {
+		t.Errorf("octree worst n(Q)=%d should exceed quadtree's %d", q3, q2)
+	}
+}

@@ -1,0 +1,141 @@
+// Package ols implements the post-processing of Section 5 of the paper: the
+// ordinary least squares (OLS) re-estimation of all node counts from the
+// released noisy counts.
+//
+// Given a complete tree whose level-i counts were perturbed with Laplace
+// parameter ε_i, the OLS estimator β is the unique vector that
+//
+//   - is consistent: β_v = Σ_{u ∈ child(v)} β_u for every internal v, and
+//   - minimizes Σ_v ε_{h(v)}² (Y_v − β_v)².
+//
+// Among all linear unbiased estimators derived from the noisy counts Y, β
+// achieves minimum variance for every range query, and since it only
+// post-processes the differentially private output it costs no additional
+// privacy budget.
+//
+// Estimate implements the three-phase linear-time algorithm of Lemma 4 /
+// Theorem 5, generalized (as in the paper) to arbitrary non-uniform
+// per-level ε_i, including levels with ε_i = 0 that release no counts (the
+// "conserve budget by skipping levels" strategies of Section 4.2): such
+// levels simply carry zero weight in the normal equations.
+package ols
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/tree"
+)
+
+// Estimate computes the OLS estimator over t's noisy counts and stores the
+// result in each node's Est field. epsByLevel[i] is the Laplace budget of
+// level i (leaves are level 0); it must have h+1 entries and a strictly
+// positive leaf entry — with no information at the leaves the system is
+// singular (E_0 = 0) and no consistent estimate exists.
+//
+// Unpublished nodes (Published == false) contribute nothing regardless of
+// their Noisy field, and receive consistent estimates like everyone else.
+// The running time and extra space are O(number of nodes).
+func Estimate(t *tree.Tree, epsByLevel []float64) error {
+	h := t.Height()
+	if len(epsByLevel) != h+1 {
+		return fmt.Errorf("ols: %d level budgets for height %d (want %d)", len(epsByLevel), h, h+1)
+	}
+	eps2 := make([]float64, h+1)
+	for i, e := range epsByLevel {
+		if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("ols: invalid ε_%d = %v", i, e)
+		}
+		eps2[i] = e * e
+	}
+	if eps2[0] == 0 {
+		return fmt.Errorf("ols: leaf level carries no budget; system is singular")
+	}
+
+	f := float64(t.Fanout())
+	// E_l = Σ_{j=0}^{l} f^j ε_j², and the powers f^l, both precomputed.
+	powF := make([]float64, h+1)
+	E := make([]float64, h+1)
+	fj, acc := 1.0, 0.0
+	for j := 0; j <= h; j++ {
+		powF[j] = fj
+		acc += fj * eps2[j]
+		E[j] = acc
+		fj *= f
+	}
+
+	nodes := t.Nodes
+	// Phase I (top-down): α_u = α_par(u) + ε²_{h(u)}·Y_u, so each leaf v ends
+	// with Z_v = Σ_{w ∈ anc(v)} ε²_{h(w)}·Y_w.
+	z := make([]float64, len(nodes))
+	z[0] = eps2[h] * publishedNoisy(&nodes[0])
+	for d := 1; d <= h; d++ {
+		lo, hi := t.DepthRange(d)
+		level := h - d
+		for i := lo; i < hi; i++ {
+			z[i] = z[t.Parent(i)] + eps2[level]*publishedNoisy(&nodes[i])
+		}
+	}
+
+	// Phase II (bottom-up): internal Z_v = Σ_{u ∈ child(v)} Z_u, giving
+	// Z_v = Σ_{u ≺ v} Σ_{w ∈ anc(u)} ε²_{h(w)}·Y_w.
+	fan := t.Fanout()
+	for d := h - 1; d >= 0; d-- {
+		lo, hi := t.DepthRange(d)
+		for i := lo; i < hi; i++ {
+			cs := t.ChildStart(i)
+			var sum float64
+			for j := 0; j < fan; j++ {
+				sum += z[cs+j]
+			}
+			z[i] = sum
+		}
+	}
+
+	// Phase III (top-down): with F_v = Σ_{w ∈ anc(v)\{v}} β_w·ε²_{h(w)},
+	//   β_root = Z_root/E_h,
+	//   F_v    = F_par(v) + β_par(v)·ε²_{h(v)+1},
+	//   β_v    = (Z_v − f^{h(v)}·F_v) / E_{h(v)}.
+	F := make([]float64, len(nodes))
+	nodes[0].Est = z[0] / E[h]
+	for d := 1; d <= h; d++ {
+		lo, hi := t.DepthRange(d)
+		level := h - d
+		for i := lo; i < hi; i++ {
+			p := t.Parent(i)
+			F[i] = F[p] + nodes[p].Est*eps2[level+1]
+			nodes[i].Est = (z[i] - powF[level]*F[i]) / E[level]
+		}
+	}
+	return nil
+}
+
+func publishedNoisy(n *tree.Node) float64 {
+	if !n.Published {
+		return 0
+	}
+	return n.Noisy
+}
+
+// CopyNoisyToEst resets every published node's estimate to its raw noisy
+// count, and unpublished nodes to 0. It is the "no post-processing"
+// configuration (quad-baseline, quad-geo) and the state Estimate expects to
+// improve on.
+func CopyNoisyToEst(t *tree.Tree) {
+	for i := range t.Nodes {
+		if t.Nodes[i].Published {
+			t.Nodes[i].Est = t.Nodes[i].Noisy
+		} else {
+			t.Nodes[i].Est = 0
+		}
+	}
+}
+
+// RootVariance returns the variance of the OLS estimate of the root count
+// for a two-level tree (root plus f leaves) with root budget eps1 and leaf
+// budget eps0 — the worked example of Section 5, Var(β_a) = 8/(4ε_1²+ε_0²)
+// for f = 4. Exposed for tests and documentation.
+func RootVariance(f int, eps1, eps0 float64) float64 {
+	ff := float64(f)
+	return 2 * ff / (ff*eps1*eps1 + eps0*eps0)
+}

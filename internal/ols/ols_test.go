@@ -1,0 +1,422 @@
+package ols
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"psd/internal/geom"
+	"psd/internal/tree"
+)
+
+// newTestTree builds a complete tree with trivial geometry (geometry is
+// irrelevant to OLS) and the given noisy counts by level.
+func newTestTree(t *testing.T, fanout, height int) *tree.Tree {
+	t.Helper()
+	tr, err := tree.NewComplete(fanout, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Nodes[0].Rect = geom.NewRect(0, 0, 1, 1)
+	return tr
+}
+
+// setNoisy marks all nodes published with the given counts.
+func setNoisy(tr *tree.Tree, y []float64) {
+	for i := range tr.Nodes {
+		tr.Nodes[i].Noisy = y[i]
+		tr.Nodes[i].Published = true
+	}
+}
+
+// bruteForceOLS solves the constrained weighted least-squares problem
+// directly: parameterize by leaf values x, β = Hx, minimize
+// (Y−Hx)ᵀ W (Y−Hx) via the normal equations HᵀWH x = HᵀW Y solved by
+// Gaussian elimination. Exponential in nothing, but O(leaves³) — fine for
+// the small trees used in tests.
+func bruteForceOLS(tr *tree.Tree, epsByLevel []float64) []float64 {
+	m := tr.Len()
+	n := tr.NumLeaves()
+	h := tr.Height()
+
+	// H[v][leaf] = 1 iff leaf is under v.
+	H := make([][]float64, m)
+	for v := 0; v < m; v++ {
+		H[v] = make([]float64, n)
+	}
+	for k := 0; k < n; k++ {
+		v := tr.LeafIndex(k)
+		for v >= 0 {
+			H[v][k] = 1
+			v = tr.Parent(v)
+		}
+	}
+	w := make([]float64, m)
+	for v := 0; v < m; v++ {
+		e := epsByLevel[h-tr.Depth(v)]
+		if tr.Nodes[v].Published {
+			w[v] = e * e
+		}
+	}
+	// A = HᵀWH (n×n), b = HᵀWY.
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		A[i] = make([]float64, n)
+	}
+	for v := 0; v < m; v++ {
+		if w[v] == 0 {
+			continue
+		}
+		y := tr.Nodes[v].Noisy
+		for i := 0; i < n; i++ {
+			if H[v][i] == 0 {
+				continue
+			}
+			b[i] += w[v] * y
+			for j := 0; j < n; j++ {
+				if H[v][j] != 0 {
+					A[i][j] += w[v]
+				}
+			}
+		}
+	}
+	x := solveGauss(A, b)
+	beta := make([]float64, m)
+	for v := 0; v < m; v++ {
+		for k := 0; k < n; k++ {
+			if H[v][k] != 0 {
+				beta[v] += x[k]
+			}
+		}
+	}
+	return beta
+}
+
+// solveGauss solves Ax = b with partial pivoting, destroying its inputs.
+func solveGauss(A [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			factor := A[r][col] / A[col][col]
+			for c := col; c < n; c++ {
+				A[r][c] -= factor * A[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+	}
+	return x
+}
+
+// Section 5's worked example: a root with four children, uniform ε/2 per
+// level. The OLS is β_a = (4·Y_a + Y_b + Y_c + Y_d + Y_e)/5.
+func TestWorkedExampleUniform(t *testing.T) {
+	tr := newTestTree(t, 4, 1)
+	setNoisy(tr, []float64{10, 1, 2, 3, 4})
+	eps := []float64{0.5, 0.5} // levels: leaf, root
+	if err := Estimate(tr, eps); err != nil {
+		t.Fatal(err)
+	}
+	want := (4*10.0 + 1 + 2 + 3 + 4) / 5.0
+	if got := tr.Nodes[0].Est; math.Abs(got-want) > 1e-9 {
+		t.Errorf("β_root = %v, want %v", got, want)
+	}
+	// Consistency.
+	var sum float64
+	for j := 1; j <= 4; j++ {
+		sum += tr.Nodes[j].Est
+	}
+	if math.Abs(sum-tr.Nodes[0].Est) > 1e-9 {
+		t.Errorf("children sum %v != root %v", sum, tr.Nodes[0].Est)
+	}
+}
+
+// Section 5's non-uniform generalization:
+// β_a = (4ε₁²·Y_a + ε₀²·ΣY_children)/(4ε₁² + ε₀²).
+func TestWorkedExampleNonUniform(t *testing.T) {
+	tr := newTestTree(t, 4, 1)
+	y := []float64{7, 1, 0, 2, 5}
+	setNoisy(tr, y)
+	eps1, eps0 := 0.2, 0.8
+	if err := Estimate(tr, []float64{eps0, eps1}); err != nil {
+		t.Fatal(err)
+	}
+	den := 4*eps1*eps1 + eps0*eps0
+	want := (4*eps1*eps1*y[0] + eps0*eps0*(y[1]+y[2]+y[3]+y[4])) / den
+	if got := tr.Nodes[0].Est; math.Abs(got-want) > 1e-9 {
+		t.Errorf("β_root = %v, want %v", got, want)
+	}
+}
+
+func TestRootVarianceFormula(t *testing.T) {
+	// Var(β_a) = 8/(4ε₁²+ε₀²) < 2/ε₁² = Var(Y_a) per Section 5.
+	v := RootVariance(4, 0.25, 0.25)
+	want := 8.0 / (4*0.25*0.25 + 0.25*0.25)
+	if math.Abs(v-want) > 1e-12 {
+		t.Errorf("RootVariance = %v, want %v", v, want)
+	}
+	if v >= 2/(0.25*0.25) {
+		t.Error("OLS root variance should beat the raw count variance")
+	}
+}
+
+func TestMatchesBruteForceRandomTrees(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	configs := []struct{ f, h int }{
+		{2, 1}, {2, 2}, {2, 3}, {3, 2}, {4, 1}, {4, 2},
+	}
+	for _, cfg := range configs {
+		for trial := 0; trial < 5; trial++ {
+			tr := newTestTree(t, cfg.f, cfg.h)
+			y := make([]float64, tr.Len())
+			for i := range y {
+				y[i] = rnd.NormFloat64() * 10
+			}
+			setNoisy(tr, y)
+			eps := make([]float64, cfg.h+1)
+			for i := range eps {
+				eps[i] = 0.05 + rnd.Float64()
+			}
+			if err := Estimate(tr, eps); err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceOLS(tr, eps)
+			for v := 0; v < tr.Len(); v++ {
+				if math.Abs(tr.Nodes[v].Est-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+					t.Fatalf("f=%d h=%d trial %d node %d: Est %v, brute force %v",
+						cfg.f, cfg.h, trial, v, tr.Nodes[v].Est, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMatchesBruteForceWithZeroLevels(t *testing.T) {
+	// A middle level with ε = 0 (unpublished counts) — the skip-level
+	// strategy of Section 4.2. Unpublished nodes must carry no weight.
+	rnd := rand.New(rand.NewSource(7))
+	tr := newTestTree(t, 2, 3)
+	y := make([]float64, tr.Len())
+	for i := range y {
+		y[i] = rnd.NormFloat64() * 5
+	}
+	setNoisy(tr, y)
+	// Mark level-1 nodes (depth 2) unpublished with garbage noisy values to
+	// prove they are ignored.
+	lo, hi := tr.DepthRange(2)
+	for i := lo; i < hi; i++ {
+		tr.Nodes[i].Published = false
+		tr.Nodes[i].Noisy = 1e12
+	}
+	eps := []float64{0.7, 0, 0.3, 0.5}
+	if err := Estimate(tr, eps); err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceOLS(tr, eps)
+	for v := 0; v < tr.Len(); v++ {
+		if math.Abs(tr.Nodes[v].Est-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("node %d: Est %v, brute force %v", v, tr.Nodes[v].Est, want[v])
+		}
+	}
+}
+
+func TestLeafOnlyBudgetIsIdentityOnLeaves(t *testing.T) {
+	// With observations only at the leaves, the OLS fixes β_leaf = Y_leaf
+	// and aggregates upward.
+	tr := newTestTree(t, 4, 2)
+	rnd := rand.New(rand.NewSource(9))
+	for i := range tr.Nodes {
+		tr.Nodes[i].Published = false
+	}
+	var leafSum float64
+	for k := 0; k < tr.NumLeaves(); k++ {
+		i := tr.LeafIndex(k)
+		tr.Nodes[i].Noisy = rnd.Float64() * 10
+		tr.Nodes[i].Published = true
+		leafSum += tr.Nodes[i].Noisy
+	}
+	if err := Estimate(tr, []float64{1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < tr.NumLeaves(); k++ {
+		i := tr.LeafIndex(k)
+		if math.Abs(tr.Nodes[i].Est-tr.Nodes[i].Noisy) > 1e-9 {
+			t.Fatalf("leaf %d: Est %v != Noisy %v", k, tr.Nodes[i].Est, tr.Nodes[i].Noisy)
+		}
+	}
+	if math.Abs(tr.Nodes[0].Est-leafSum) > 1e-9 {
+		t.Errorf("root Est %v != leaf sum %v", tr.Nodes[0].Est, leafSum)
+	}
+}
+
+func TestConsistentInputIsFixedPoint(t *testing.T) {
+	// If the noisy counts are already consistent (e.g. zero noise), the OLS
+	// must return them unchanged: the objective reaches zero there.
+	tr := newTestTree(t, 4, 3)
+	for k := 0; k < tr.NumLeaves(); k++ {
+		tr.Nodes[tr.LeafIndex(k)].True = float64(k % 5)
+	}
+	tr.AggregateTrueCounts()
+	for i := range tr.Nodes {
+		tr.Nodes[i].Noisy = tr.Nodes[i].True
+		tr.Nodes[i].Published = true
+	}
+	geo := make([]float64, 4)
+	for i := range geo {
+		geo[i] = 0.1 * math.Pow(1.26, float64(3-i))
+	}
+	if err := Estimate(tr, geo); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Nodes {
+		if math.Abs(tr.Nodes[i].Est-tr.Nodes[i].True) > 1e-9 {
+			t.Fatalf("node %d: fixed point violated: Est %v, want %v",
+				i, tr.Nodes[i].Est, tr.Nodes[i].True)
+		}
+	}
+}
+
+func TestConsistencyInvariant(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	tr := newTestTree(t, 4, 4)
+	y := make([]float64, tr.Len())
+	for i := range y {
+		y[i] = rnd.NormFloat64() * 100
+	}
+	setNoisy(tr, y)
+	if err := Estimate(tr, []float64{0.4, 0.3, 0.2, 0.05, 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < tr.Height(); d++ {
+		lo, hi := tr.DepthRange(d)
+		for i := lo; i < hi; i++ {
+			var sum float64
+			cs := tr.ChildStart(i)
+			for j := 0; j < tr.Fanout(); j++ {
+				sum += tr.Nodes[cs+j].Est
+			}
+			if math.Abs(sum-tr.Nodes[i].Est) > 1e-6*(1+math.Abs(sum)) {
+				t.Fatalf("node %d: children sum %v != Est %v", i, sum, tr.Nodes[i].Est)
+			}
+		}
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	tr := newTestTree(t, 2, 2)
+	setNoisy(tr, make([]float64, tr.Len()))
+	if err := Estimate(tr, []float64{1, 1}); err == nil {
+		t.Error("wrong budget length should error")
+	}
+	if err := Estimate(tr, []float64{0, 1, 1}); err == nil {
+		t.Error("zero leaf budget should error (singular)")
+	}
+	if err := Estimate(tr, []float64{1, -1, 1}); err == nil {
+		t.Error("negative budget should error")
+	}
+	if err := Estimate(tr, []float64{1, math.NaN(), 1}); err == nil {
+		t.Error("NaN budget should error")
+	}
+}
+
+func TestCopyNoisyToEst(t *testing.T) {
+	tr := newTestTree(t, 2, 1)
+	setNoisy(tr, []float64{5, 2, 3})
+	tr.Nodes[2].Published = false
+	CopyNoisyToEst(tr)
+	if tr.Nodes[0].Est != 5 || tr.Nodes[1].Est != 2 {
+		t.Error("published estimates should equal noisy counts")
+	}
+	if tr.Nodes[2].Est != 0 {
+		t.Error("unpublished estimate should reset to 0")
+	}
+}
+
+// Statistical properties: the OLS root estimate is unbiased and has lower
+// variance than the raw noisy root count (Section 5's claim).
+func TestVarianceReduction(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	const trueRoot = 1000.0
+	const trials = 3000
+	lap := func(b float64) float64 {
+		u := rnd.Float64() - 0.5
+		if u < 0 {
+			return b * math.Log(1+2*u)
+		}
+		return -b * math.Log(1-2*u)
+	}
+	eps := []float64{0.5, 0.5}
+	var sumRaw, sumRawSq, sumOLS, sumOLSSq float64
+	for trial := 0; trial < trials; trial++ {
+		tr, _ := tree.NewComplete(4, 1)
+		// True distribution: root 1000 split evenly.
+		tr.Nodes[0].Noisy = trueRoot + lap(1/eps[1])
+		for j := 1; j <= 4; j++ {
+			tr.Nodes[j].Noisy = trueRoot/4 + lap(1/eps[0])
+		}
+		for i := range tr.Nodes {
+			tr.Nodes[i].Published = true
+		}
+		raw := tr.Nodes[0].Noisy
+		if err := Estimate(tr, eps); err != nil {
+			t.Fatal(err)
+		}
+		est := tr.Nodes[0].Est
+		sumRaw += raw
+		sumRawSq += (raw - trueRoot) * (raw - trueRoot)
+		sumOLS += est
+		sumOLSSq += (est - trueRoot) * (est - trueRoot)
+	}
+	meanOLS := sumOLS / trials
+	if math.Abs(meanOLS-trueRoot) > 2 {
+		t.Errorf("OLS mean = %v, want ~%v (unbiased)", meanOLS, trueRoot)
+	}
+	varRaw := sumRawSq / trials
+	varOLS := sumOLSSq / trials
+	if varOLS >= varRaw {
+		t.Errorf("OLS variance %v should beat raw %v", varOLS, varRaw)
+	}
+	// Section 5: Var(β_a) = 8/(4ε₁²+ε₀²) = (4/5)·Var(Y_a) at uniform ε.
+	wantRatio := RootVariance(4, eps[1], eps[0]) / (2 / (eps[1] * eps[1]))
+	gotRatio := varOLS / varRaw
+	if math.Abs(gotRatio-wantRatio) > 0.08 {
+		t.Errorf("variance ratio = %v, want ≈ %v", gotRatio, wantRatio)
+	}
+}
+
+func BenchmarkEstimateQuadH8(b *testing.B) {
+	tr, err := tree.NewComplete(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range tr.Nodes {
+		tr.Nodes[i].Noisy = float64(i % 97)
+		tr.Nodes[i].Published = true
+	}
+	eps := make([]float64, 9)
+	for i := range eps {
+		eps[i] = 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Estimate(tr, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

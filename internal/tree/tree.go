@@ -1,0 +1,215 @@
+// Package tree provides the complete-tree arena that backs every private
+// spatial decomposition in this library.
+//
+// Following Section 3.2 of the paper, a decomposition is a complete tree:
+// every leaf-to-root path has the same length and every internal node has
+// the same fanout. That regularity lets us store the tree as a flat slice in
+// breadth-first order and do all parent/child/level navigation with index
+// arithmetic — no pointers, no per-node allocation — which is what makes
+// h=10 quadtrees (1.4M nodes) cheap to build, post-process and query.
+//
+// Level convention matches the paper: leaves are level 0 and the root is
+// level h. Depth is the complementary quantity (root depth 0).
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/geom"
+)
+
+// Node is one cell of a decomposition. True counts are retained so the
+// evaluation harness can compute errors; a privacy-preserving release
+// consists of the rectangles plus the Noisy (or post-processed Est) counts
+// of published levels only.
+type Node struct {
+	// Rect is the region of space this node is responsible for.
+	Rect geom.Rect
+
+	// True is the exact number of data points in Rect. It is sensitive and
+	// must never be part of a release; it exists for evaluation.
+	True float64
+
+	// Noisy is the perturbed count released for this node. It is meaningful
+	// only when Published is true.
+	Noisy float64
+
+	// Est is the working estimate used to answer queries: the noisy count,
+	// or the OLS-post-processed count once post-processing has run.
+	Est float64
+
+	// Published records whether this node's level released a count (levels
+	// assigned ε_i = 0 release nothing; see "other budget strategies",
+	// Section 4.2).
+	Published bool
+
+	// Pruned marks nodes whose descendants were cut off by the pruning rule
+	// of Section 7; a pruned node is treated as a leaf by queries.
+	Pruned bool
+}
+
+// Tree is a complete tree of the given fanout and height stored in
+// breadth-first order: index 0 is the root, indices [1, 1+f) its children,
+// and so on.
+type Tree struct {
+	fanout int
+	height int
+	// offsets[d] is the index of the first node at depth d;
+	// offsets[height+1] is the total node count.
+	offsets []int
+
+	// Nodes holds every node, breadth-first. Exposed directly because the
+	// builders, post-processors and queries all iterate it tightly.
+	Nodes []Node
+}
+
+// MaxNodes caps the arena size to keep accidental huge trees from taking
+// down the process (64M nodes ≈ 5 GB of Node).
+const MaxNodes = 1 << 26
+
+// NewComplete allocates a complete tree with the given fanout (≥ 2) and
+// height (≥ 0; height 0 is a single root/leaf).
+func NewComplete(fanout, height int) (*Tree, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("tree: fanout %d < 2", fanout)
+	}
+	if height < 0 {
+		return nil, fmt.Errorf("tree: negative height %d", height)
+	}
+	offsets := make([]int, height+2)
+	levelSize := 1
+	total := 0
+	for d := 0; d <= height; d++ {
+		offsets[d] = total
+		total += levelSize
+		if total > MaxNodes {
+			return nil, fmt.Errorf("tree: fanout %d height %d exceeds %d nodes", fanout, height, MaxNodes)
+		}
+		levelSize *= fanout
+	}
+	offsets[height+1] = total
+	return &Tree{
+		fanout:  fanout,
+		height:  height,
+		offsets: offsets,
+		Nodes:   make([]Node, total),
+	}, nil
+}
+
+// Fanout returns the tree's fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Height returns the tree's height (root level).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the total number of nodes.
+func (t *Tree) Len() int { return len(t.Nodes) }
+
+// NumLeaves returns the number of leaves, fanout^height.
+func (t *Tree) NumLeaves() int { return t.offsets[t.height+1] - t.offsets[t.height] }
+
+// DepthRange returns the half-open index range [lo, hi) of nodes at depth d.
+func (t *Tree) DepthRange(d int) (lo, hi int) {
+	return t.offsets[d], t.offsets[d+1]
+}
+
+// Depth returns the depth of node i (root = 0).
+func (t *Tree) Depth(i int) int {
+	// offsets is short (height+2 entries); linear scan beats binary search
+	// for the heights this library uses and is branch-predictable.
+	for d := t.height; d >= 0; d-- {
+		if i >= t.offsets[d] {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("tree: index %d out of range", i))
+}
+
+// Level returns the paper-convention level of node i (leaf = 0, root = h).
+func (t *Tree) Level(i int) int { return t.height - t.Depth(i) }
+
+// Parent returns the index of node i's parent. The root has no parent and
+// returns -1.
+func (t *Tree) Parent(i int) int {
+	if i == 0 {
+		return -1
+	}
+	d := t.Depth(i)
+	pos := i - t.offsets[d]
+	return t.offsets[d-1] + pos/t.fanout
+}
+
+// ChildStart returns the index of the first child of node i. Calling it on
+// a leaf is a programmer error and panics.
+func (t *Tree) ChildStart(i int) int {
+	d := t.Depth(i)
+	if d == t.height {
+		panic(fmt.Sprintf("tree: node %d is a leaf", i))
+	}
+	pos := i - t.offsets[d]
+	return t.offsets[d+1] + pos*t.fanout
+}
+
+// Child returns the index of the j-th child (0 ≤ j < fanout) of node i.
+func (t *Tree) Child(i, j int) int { return t.ChildStart(i) + j }
+
+// IsLeaf reports whether node i is at the deepest level.
+func (t *Tree) IsLeaf(i int) bool { return i >= t.offsets[t.height] }
+
+// LeafIndex returns the arena index of the k-th leaf (left to right).
+func (t *Tree) LeafIndex(k int) int { return t.offsets[t.height] + k }
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return &t.Nodes[0] }
+
+// AggregateTrueCounts recomputes every internal node's True count as the sum
+// of its children's, bottom-up. Builders set leaf counts and call this.
+func (t *Tree) AggregateTrueCounts() {
+	for d := t.height - 1; d >= 0; d-- {
+		lo, hi := t.DepthRange(d)
+		for i := lo; i < hi; i++ {
+			cs := t.ChildStart(i)
+			var sum float64
+			for j := 0; j < t.fanout; j++ {
+				sum += t.Nodes[cs+j].True
+			}
+			t.Nodes[i].True = sum
+		}
+	}
+}
+
+// CheckConsistent verifies structural invariants: each internal node's Rect
+// contains its children's, the children's True counts sum to the parent's,
+// and (when strict) the children tile the parent's area. It returns the
+// first violation found, or nil.
+func (t *Tree) CheckConsistent(strict bool) error {
+	for d := 0; d < t.height; d++ {
+		lo, hi := t.DepthRange(d)
+		for i := lo; i < hi; i++ {
+			n := &t.Nodes[i]
+			cs := t.ChildStart(i)
+			var count, area float64
+			for j := 0; j < t.fanout; j++ {
+				c := &t.Nodes[cs+j]
+				if !n.Rect.ContainsRect(c.Rect) {
+					return fmt.Errorf("tree: node %d rect %v escapes parent %d rect %v",
+						cs+j, c.Rect, i, n.Rect)
+				}
+				count += c.True
+				area += c.Rect.Area()
+			}
+			if math.Abs(count-n.True) > 1e-6 {
+				return fmt.Errorf("tree: node %d children counts %v != parent count %v",
+					i, count, n.True)
+			}
+			if strict {
+				if diff := math.Abs(area - n.Rect.Area()); diff > 1e-6*(1+n.Rect.Area()) {
+					return fmt.Errorf("tree: node %d children areas %v != parent area %v",
+						i, area, n.Rect.Area())
+				}
+			}
+		}
+	}
+	return nil
+}

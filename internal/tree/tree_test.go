@@ -1,0 +1,212 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"psd/internal/geom"
+)
+
+func TestNewCompleteSizes(t *testing.T) {
+	cases := []struct {
+		fanout, height, nodes, leaves int
+	}{
+		{2, 0, 1, 1},
+		{2, 3, 15, 8},
+		{4, 2, 21, 16},
+		{4, 3, 85, 64},
+		{3, 4, 121, 81},
+	}
+	for _, c := range cases {
+		tr, err := NewComplete(c.fanout, c.height)
+		if err != nil {
+			t.Fatalf("NewComplete(%d,%d): %v", c.fanout, c.height, err)
+		}
+		if tr.Len() != c.nodes {
+			t.Errorf("f=%d h=%d: Len = %d, want %d", c.fanout, c.height, tr.Len(), c.nodes)
+		}
+		if tr.NumLeaves() != c.leaves {
+			t.Errorf("f=%d h=%d: leaves = %d, want %d", c.fanout, c.height, tr.NumLeaves(), c.leaves)
+		}
+		if tr.Fanout() != c.fanout || tr.Height() != c.height {
+			t.Error("accessors disagree with construction")
+		}
+	}
+}
+
+func TestNewCompleteValidation(t *testing.T) {
+	if _, err := NewComplete(1, 3); err == nil {
+		t.Error("fanout 1 should error")
+	}
+	if _, err := NewComplete(4, -1); err == nil {
+		t.Error("negative height should error")
+	}
+	if _, err := NewComplete(4, 14); err == nil {
+		t.Error("oversized tree should error, got nil")
+	}
+}
+
+func TestIndexArithmetic(t *testing.T) {
+	tr, _ := NewComplete(4, 3)
+	// Root.
+	if tr.Depth(0) != 0 || tr.Level(0) != 3 || tr.Parent(0) != -1 {
+		t.Error("root navigation broken")
+	}
+	if tr.IsLeaf(0) {
+		t.Error("root of height-3 tree is not a leaf")
+	}
+	// Every node: parent/child relations invert each other.
+	for i := 0; i < tr.Len(); i++ {
+		d := tr.Depth(i)
+		if d+tr.Level(i) != tr.Height() {
+			t.Fatalf("node %d: depth %d + level %d != height", i, d, tr.Level(i))
+		}
+		if tr.IsLeaf(i) {
+			if d != tr.Height() {
+				t.Fatalf("leaf %d at depth %d", i, d)
+			}
+			continue
+		}
+		cs := tr.ChildStart(i)
+		for j := 0; j < tr.Fanout(); j++ {
+			child := tr.Child(i, j)
+			if child != cs+j {
+				t.Fatalf("Child(%d,%d) = %d, want %d", i, j, child, cs+j)
+			}
+			if tr.Parent(child) != i {
+				t.Fatalf("Parent(%d) = %d, want %d", child, tr.Parent(child), i)
+			}
+			if tr.Depth(child) != d+1 {
+				t.Fatalf("child depth = %d, want %d", tr.Depth(child), d+1)
+			}
+		}
+	}
+}
+
+func TestChildStartPanicsOnLeaf(t *testing.T) {
+	tr, _ := NewComplete(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChildStart on leaf should panic")
+		}
+	}()
+	tr.ChildStart(tr.LeafIndex(0))
+}
+
+func TestDepthRangeCoversArena(t *testing.T) {
+	tr, _ := NewComplete(3, 4)
+	next := 0
+	for d := 0; d <= tr.Height(); d++ {
+		lo, hi := tr.DepthRange(d)
+		if lo != next {
+			t.Fatalf("depth %d starts at %d, want %d", d, lo, next)
+		}
+		want := 1
+		for k := 0; k < d; k++ {
+			want *= 3
+		}
+		if hi-lo != want {
+			t.Fatalf("depth %d has %d nodes, want %d", d, hi-lo, want)
+		}
+		next = hi
+	}
+	if next != tr.Len() {
+		t.Fatalf("depth ranges cover %d nodes, want %d", next, tr.Len())
+	}
+}
+
+func TestLeafIndex(t *testing.T) {
+	tr, _ := NewComplete(4, 2)
+	for k := 0; k < tr.NumLeaves(); k++ {
+		i := tr.LeafIndex(k)
+		if !tr.IsLeaf(i) {
+			t.Fatalf("LeafIndex(%d) = %d is not a leaf", k, i)
+		}
+	}
+	if tr.LeafIndex(0) != 5 { // 1 root + 4 internal
+		t.Errorf("first leaf index = %d, want 5", tr.LeafIndex(0))
+	}
+}
+
+func TestAggregateTrueCounts(t *testing.T) {
+	tr, _ := NewComplete(2, 3)
+	for k := 0; k < tr.NumLeaves(); k++ {
+		tr.Nodes[tr.LeafIndex(k)].True = float64(k + 1) // 1..8, total 36
+	}
+	tr.AggregateTrueCounts()
+	if got := tr.Root().True; got != 36 {
+		t.Errorf("root count = %v, want 36", got)
+	}
+	// Spot-check one internal node: first node at depth 1 covers leaves 1..4.
+	lo, _ := tr.DepthRange(1)
+	if got := tr.Nodes[lo].True; got != 10 {
+		t.Errorf("left subtree count = %v, want 10", got)
+	}
+}
+
+func TestCheckConsistent(t *testing.T) {
+	tr, _ := NewComplete(4, 2)
+	// Build a proper quadtree geometry.
+	root := geom.NewRect(0, 0, 16, 16)
+	tr.Nodes[0].Rect = root
+	var assign func(i int)
+	assign = func(i int) {
+		if tr.IsLeaf(i) {
+			return
+		}
+		qs := tr.Nodes[i].Rect.Quadrants()
+		cs := tr.ChildStart(i)
+		for j := 0; j < 4; j++ {
+			tr.Nodes[cs+j].Rect = qs[j]
+			assign(cs + j)
+		}
+	}
+	assign(0)
+	for k := 0; k < tr.NumLeaves(); k++ {
+		tr.Nodes[tr.LeafIndex(k)].True = 1
+	}
+	tr.AggregateTrueCounts()
+	if err := tr.CheckConsistent(true); err != nil {
+		t.Fatalf("consistent tree failed check: %v", err)
+	}
+	// Break a count.
+	tr.Nodes[0].True = 999
+	if err := tr.CheckConsistent(false); err == nil {
+		t.Error("count violation not detected")
+	}
+	tr.AggregateTrueCounts()
+	// Break geometry.
+	tr.Nodes[tr.LeafIndex(0)].Rect = geom.NewRect(-5, -5, -1, -1)
+	if err := tr.CheckConsistent(false); err == nil {
+		t.Error("geometry violation not detected")
+	}
+}
+
+// Property: for random valid (fanout, height), parent/child index round trips
+// hold for every node.
+func TestNavigationQuick(t *testing.T) {
+	f := func(fan, h uint8) bool {
+		fanout := int(fan)%3 + 2 // 2..4
+		height := int(h) % 5     // 0..4
+		tr, err := NewComplete(fanout, height)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < tr.Len(); i++ {
+			p := tr.Parent(i)
+			found := false
+			for j := 0; j < fanout; j++ {
+				if tr.Child(p, j) == i {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"psd/internal/geom"
+)
+
+// CountIndex answers exact rectangular count queries over a fixed point set
+// in roughly O(perimeter) time: points are bucketed on a uniform grid, full
+// buckets are summed through a 2-D prefix-sum table, and only the boundary
+// buckets are scanned point by point. The evaluation harness uses it to
+// compute true answers for hundreds of queries over millions of points.
+type CountIndex struct {
+	domain geom.Rect
+	g      int // grid side
+	cellW  float64
+	cellH  float64
+	// CSR layout: pts sorted by cell, starts[c] .. starts[c+1] the range of
+	// cell c = cy*g + cx.
+	pts    []geom.Point
+	starts []int32
+	// prefix[(cy)(g+1)+(cx)] = count of points in cells [0,cx) × [0,cy).
+	prefix []int64
+}
+
+// NewCountIndex builds an index with a g×g bucket grid (g is clamped to
+// [1, 2048]).
+func NewCountIndex(points []geom.Point, domain geom.Rect, g int) (*CountIndex, error) {
+	if domain.Empty() {
+		return nil, fmt.Errorf("workload: empty domain %v", domain)
+	}
+	if g < 1 {
+		g = 1
+	}
+	if g > 2048 {
+		g = 2048
+	}
+	idx := &CountIndex{
+		domain: domain,
+		g:      g,
+		cellW:  domain.Width() / float64(g),
+		cellH:  domain.Height() / float64(g),
+	}
+	cellOf := func(p geom.Point) int {
+		cx := idx.clamp(int((p.X - domain.Lo.X) / idx.cellW))
+		cy := idx.clamp(int((p.Y - domain.Lo.Y) / idx.cellH))
+		return cy*g + cx
+	}
+	// Counting sort into CSR.
+	counts := make([]int32, g*g+1)
+	for _, p := range points {
+		counts[cellOf(p)+1]++
+	}
+	idx.starts = make([]int32, g*g+1)
+	for c := 1; c <= g*g; c++ {
+		idx.starts[c] = idx.starts[c-1] + counts[c]
+	}
+	idx.pts = make([]geom.Point, len(points))
+	cursor := make([]int32, g*g)
+	copy(cursor, idx.starts[:g*g])
+	for _, p := range points {
+		c := cellOf(p)
+		idx.pts[cursor[c]] = p
+		cursor[c]++
+	}
+	// Prefix sums over cell counts.
+	idx.prefix = make([]int64, (g+1)*(g+1))
+	for cy := 0; cy < g; cy++ {
+		var row int64
+		for cx := 0; cx < g; cx++ {
+			row += int64(idx.starts[cy*g+cx+1] - idx.starts[cy*g+cx])
+			idx.prefix[(cy+1)*(g+1)+cx+1] = idx.prefix[cy*(g+1)+cx+1] + row
+		}
+	}
+	return idx, nil
+}
+
+func (idx *CountIndex) clamp(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= idx.g {
+		return idx.g - 1
+	}
+	return c
+}
+
+// Len returns the number of indexed points.
+func (idx *CountIndex) Len() int { return len(idx.pts) }
+
+// Domain returns the indexed domain.
+func (idx *CountIndex) Domain() geom.Rect { return idx.domain }
+
+// rectSum returns the point count of the cell rectangle [cx0,cx1)×[cy0,cy1)
+// via the prefix table.
+func (idx *CountIndex) rectSum(cx0, cy0, cx1, cy1 int) int64 {
+	if cx0 >= cx1 || cy0 >= cy1 {
+		return 0
+	}
+	g1 := idx.g + 1
+	return idx.prefix[cy1*g1+cx1] - idx.prefix[cy0*g1+cx1] -
+		idx.prefix[cy1*g1+cx0] + idx.prefix[cy0*g1+cx0]
+}
+
+// Count returns the exact number of indexed points inside q.
+func (idx *CountIndex) Count(q geom.Rect) int64 {
+	inter, ok := idx.domain.Intersect(q)
+	if !ok {
+		// Points clamp into the domain at indexing time, so anything
+		// outside contributes nothing — but q may still contain boundary
+		// points exactly on the domain edge; treat via full scan of edge
+		// cells only when q touches the domain at all.
+		return 0
+	}
+	// Cell range the query touches.
+	cx0 := idx.clamp(int(math.Floor((inter.Lo.X - idx.domain.Lo.X) / idx.cellW)))
+	cx1 := idx.clamp(int(math.Ceil((inter.Hi.X-idx.domain.Lo.X)/idx.cellW)) - 1)
+	cy0 := idx.clamp(int(math.Floor((inter.Lo.Y - idx.domain.Lo.Y) / idx.cellH)))
+	cy1 := idx.clamp(int(math.Ceil((inter.Hi.Y-idx.domain.Lo.Y)/idx.cellH)) - 1)
+
+	// Interior cells fully covered by q.
+	fx0, fy0 := cx0, cy0
+	if idx.cellLoX(cx0) < q.Lo.X {
+		fx0++
+	}
+	if idx.cellLoY(cy0) < q.Lo.Y {
+		fy0++
+	}
+	fx1, fy1 := cx1, cy1
+	if idx.cellHiX(cx1) > q.Hi.X {
+		fx1--
+	}
+	if idx.cellHiY(cy1) > q.Hi.Y {
+		fy1--
+	}
+	var total int64
+	if fx0 <= fx1 && fy0 <= fy1 {
+		total = idx.rectSum(fx0, fy0, fx1+1, fy1+1)
+	} else {
+		fx0, fx1 = cx1+1, cx0-1 // mark "no interior" for the boundary scan
+		fy0, fy1 = cy1+1, cy0-1
+	}
+	// Boundary cells: scan points.
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			if cx >= fx0 && cx <= fx1 && cy >= fy0 && cy <= fy1 {
+				continue // interior, already counted
+			}
+			c := cy*idx.g + cx
+			for _, p := range idx.pts[idx.starts[c]:idx.starts[c+1]] {
+				if q.Contains(p) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+func (idx *CountIndex) cellLoX(cx int) float64 {
+	return idx.domain.Lo.X + float64(cx)*idx.cellW
+}
+func (idx *CountIndex) cellHiX(cx int) float64 {
+	return idx.domain.Lo.X + float64(cx+1)*idx.cellW
+}
+func (idx *CountIndex) cellLoY(cy int) float64 {
+	return idx.domain.Lo.Y + float64(cy)*idx.cellH
+}
+func (idx *CountIndex) cellHiY(cy int) float64 {
+	return idx.domain.Lo.Y + float64(cy+1)*idx.cellH
+}
+
+// QueryShape is a rectangular query size in domain units; the paper
+// expresses shapes in degrees, e.g. (15, 0.2) is a 1050 × 14 mile strip.
+type QueryShape struct {
+	W, H float64
+}
+
+// String implements fmt.Stringer in the paper's "(w,h)" notation.
+func (s QueryShape) String() string {
+	return fmt.Sprintf("(%g,%g)", s.W, s.H)
+}
+
+// PaperShapes lists the query shapes used across Figures 3, 5 and 6.
+var PaperShapes = []QueryShape{{1, 1}, {5, 5}, {10, 10}, {15, 0.2}}
+
+// Queries is a query workload with precomputed exact answers.
+type Queries struct {
+	Shape   QueryShape
+	Rects   []geom.Rect
+	Answers []float64
+}
+
+// GenQueries generates count queries of the given shape placed uniformly at
+// random inside the domain, keeping only queries with a non-zero exact
+// answer (as the paper does), until n queries are found. It gives up with
+// an error if the acceptance rate is pathologically low.
+func GenQueries(idx *CountIndex, shape QueryShape, n int, seed int64) (*Queries, error) {
+	dom := idx.Domain()
+	w := math.Min(shape.W, dom.Width())
+	h := math.Min(shape.H, dom.Height())
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("workload: non-positive query shape %v", shape)
+	}
+	src := newSplitmix(seed ^ 0x717565)
+	q := &Queries{Shape: shape}
+	attempts := 0
+	maxAttempts := 1000*n + 1000
+	for len(q.Rects) < n {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("workload: only %d/%d non-empty %v queries after %d attempts",
+				len(q.Rects), n, shape, attempts)
+		}
+		x := dom.Lo.X + src.float()*(dom.Width()-w)
+		y := dom.Lo.Y + src.float()*(dom.Height()-h)
+		r := geom.Rect{Lo: geom.Point{X: x, Y: y}, Hi: geom.Point{X: x + w, Y: y + h}}
+		ans := idx.Count(r)
+		if ans <= 0 {
+			continue
+		}
+		q.Rects = append(q.Rects, r)
+		q.Answers = append(q.Answers, float64(ans))
+	}
+	return q, nil
+}
+
+// Median returns the median of a slice (not modifying it).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// splitmix is a tiny self-contained PRNG so query generation does not
+// perturb the shared rng streams used by mechanisms.
+type splitmix struct{ s uint64 }
+
+func newSplitmix(seed int64) *splitmix { return &splitmix{s: uint64(seed)*2862933555777941757 + 1} }
+
+func (m *splitmix) next() uint64 {
+	m.s += 0x9e3779b97f4a7c15
+	z := m.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (m *splitmix) float() float64 {
+	return float64(m.next()>>11) / float64(1<<53)
+}

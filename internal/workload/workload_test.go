@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psd/internal/geom"
+	"psd/internal/rng"
+)
+
+func TestRoadNetworkBasics(t *testing.T) {
+	ds := RoadNetwork(RoadNetworkConfig{N: 20000, Seed: 1})
+	if len(ds.Points) != 20000 {
+		t.Fatalf("N = %d, want 20000", len(ds.Points))
+	}
+	if ds.Domain != TigerDomain {
+		t.Errorf("domain = %v, want TigerDomain", ds.Domain)
+	}
+	for i, p := range ds.Points {
+		if !ds.Domain.Contains(p) {
+			t.Fatalf("point %d (%v) outside domain", i, p)
+		}
+	}
+}
+
+func TestRoadNetworkIsSkewed(t *testing.T) {
+	// The generator must produce heavy spatial skew: the densest 1% of a
+	// 32x32 bucketing should hold far more than 1% of the mass.
+	ds := RoadNetwork(RoadNetworkConfig{N: 50000, Seed: 2})
+	const g = 32
+	counts := make([]int, g*g)
+	for _, p := range ds.Points {
+		cx := int((p.X - ds.Domain.Lo.X) / ds.Domain.Width() * g)
+		cy := int((p.Y - ds.Domain.Lo.Y) / ds.Domain.Height() * g)
+		if cx >= g {
+			cx = g - 1
+		}
+		if cy >= g {
+			cy = g - 1
+		}
+		counts[cy*g+cx]++
+	}
+	max := 0
+	empty := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c == 0 {
+			empty++
+		}
+	}
+	if frac := float64(max) / 50000; frac < 0.03 {
+		t.Errorf("densest cell holds %.1f%% of mass; want heavy skew (>3%%)", frac*100)
+	}
+	if empty < g*g/10 {
+		t.Errorf("only %d/%d empty cells; road data should leave empty space", empty, g*g)
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	a := RoadNetwork(RoadNetworkConfig{N: 1000, Seed: 3})
+	b := RoadNetwork(RoadNetworkConfig{N: 1000, Seed: 3})
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed should reproduce the dataset")
+		}
+	}
+	c := RoadNetwork(RoadNetworkConfig{N: 1000, Seed: 4})
+	if a.Points[0] == c.Points[0] && a.Points[1] == c.Points[1] {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestUniformAndGaussianGenerators(t *testing.T) {
+	dom := geom.NewRect(0, 0, 10, 10)
+	u := Uniform(5000, dom, 1)
+	for _, p := range u.Points {
+		if !dom.Contains(p) {
+			t.Fatal("uniform point outside domain")
+		}
+	}
+	gds := GaussianClusters(5000, 3, 0.05, dom, 2)
+	for _, p := range gds.Points {
+		if !dom.Contains(p) {
+			t.Fatal("gaussian point outside domain")
+		}
+	}
+	// Uniform should fill the space much more evenly than the clusters.
+	spread := func(pts []geom.Point) float64 {
+		const g = 8
+		counts := make([]float64, g*g)
+		for _, p := range pts {
+			cx, cy := int(p.X/10*g), int(p.Y/10*g)
+			if cx >= g {
+				cx = g - 1
+			}
+			if cy >= g {
+				cy = g - 1
+			}
+			counts[cy*g+cx]++
+		}
+		var mx float64
+		for _, c := range counts {
+			if c > mx {
+				mx = c
+			}
+		}
+		return mx
+	}
+	if spread(gds.Points) <= spread(u.Points) {
+		t.Error("clusters should concentrate mass more than uniform")
+	}
+}
+
+func TestCountIndexMatchesBruteForce(t *testing.T) {
+	dom := geom.NewRect(-10, 5, 30, 45)
+	ds := GaussianClusters(4000, 4, 0.08, dom, 5)
+	idx, err := NewCountIndex(ds.Points, dom, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 4000 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	src := rng.New(6)
+	for trial := 0; trial < 300; trial++ {
+		x1 := src.UniformIn(dom.Lo.X-5, dom.Hi.X+5)
+		x2 := src.UniformIn(dom.Lo.X-5, dom.Hi.X+5)
+		y1 := src.UniformIn(dom.Lo.Y-5, dom.Hi.Y+5)
+		y2 := src.UniformIn(dom.Lo.Y-5, dom.Hi.Y+5)
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		q := geom.NewRect(x1, y1, x2, y2)
+		want := int64(geom.CountIn(ds.Points, q))
+		if got := idx.Count(q); got != want {
+			t.Fatalf("Count(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestCountIndexQuick(t *testing.T) {
+	dom := geom.NewRect(0, 0, 1, 1)
+	ds := Uniform(2000, dom, 7)
+	idx, err := NewCountIndex(ds.Points, dom, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d float64) bool {
+		fold := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Abs(math.Mod(v, 1.2))
+		}
+		x1, x2, y1, y2 := fold(a), fold(b), fold(c), fold(d)
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		q := geom.Rect{Lo: geom.Point{X: x1, Y: y1}, Hi: geom.Point{X: x2, Y: y2}}
+		return idx.Count(q) == int64(geom.CountIn(ds.Points, q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountIndexEdgeCases(t *testing.T) {
+	dom := geom.NewRect(0, 0, 8, 8)
+	idx, err := NewCountIndex([]geom.Point{{X: 0, Y: 0}, {X: 7.99, Y: 7.99}}, dom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Count(dom); got != 2 {
+		t.Errorf("full-domain count = %d, want 2", got)
+	}
+	if got := idx.Count(geom.NewRect(100, 100, 101, 101)); got != 0 {
+		t.Errorf("disjoint count = %d, want 0", got)
+	}
+	if got := idx.Count(geom.NewRect(0, 0, 0.01, 0.01)); got != 1 {
+		t.Errorf("corner count = %d, want 1", got)
+	}
+	if _, err := NewCountIndex(nil, geom.Rect{}, 4); err == nil {
+		t.Error("empty domain should error")
+	}
+}
+
+func TestGenQueries(t *testing.T) {
+	ds := RoadNetwork(RoadNetworkConfig{N: 30000, Seed: 8})
+	idx, err := NewCountIndex(ds.Points, ds.Domain, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range PaperShapes {
+		qs, err := GenQueries(idx, shape, 50, 9)
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		if len(qs.Rects) != 50 || len(qs.Answers) != 50 {
+			t.Fatalf("shape %v: got %d queries", shape, len(qs.Rects))
+		}
+		for i, r := range qs.Rects {
+			if qs.Answers[i] <= 0 {
+				t.Fatalf("query %d has empty answer", i)
+			}
+			if math.Abs(r.Width()-math.Min(shape.W, ds.Domain.Width())) > 1e-9 {
+				t.Fatalf("query width %v, want %v", r.Width(), shape.W)
+			}
+			if !ds.Domain.ContainsRect(r) {
+				t.Fatalf("query %v escapes domain", r)
+			}
+			if int64(qs.Answers[i]) != idx.Count(r) {
+				t.Fatal("stored answer mismatches index")
+			}
+		}
+	}
+	if _, err := GenQueries(idx, QueryShape{0, 1}, 5, 1); err == nil {
+		t.Error("degenerate shape should error")
+	}
+}
+
+func TestGenQueriesDeterministic(t *testing.T) {
+	ds := Uniform(5000, geom.NewRect(0, 0, 10, 10), 10)
+	idx, _ := NewCountIndex(ds.Points, ds.Domain, 64)
+	a, err := GenQueries(idx, QueryShape{1, 1}, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenQueries(idx, QueryShape{1, 1}, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatal("query generation should be deterministic")
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+	// Input must not be mutated.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestQueryShapeString(t *testing.T) {
+	if s := (QueryShape{15, 0.2}).String(); s != "(15,0.2)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,107 @@
+package psd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The paper's introduction observes that any ordered attribute of moderate
+// to high cardinality — salaries, ages, timestamps — is implicitly spatial:
+// whenever data can be indexed by a tree, PSD techniques apply. Tree1D
+// packages that one-dimensional case: values embed on the x-axis with a
+// dummy unit y extent, data-dependent splits track the distribution's
+// quantiles, and interval-count queries come back ε-differentially private.
+
+// Tree1D is a private decomposition of a one-dimensional value set.
+type Tree1D struct {
+	t      *Tree
+	lo, hi float64
+}
+
+// Build1D constructs a PSD over values within the public domain [lo, hi).
+// Options are as for Build; KDTree (the default here) is usually the right
+// Kind for one-dimensional data since its splits adapt to the
+// distribution.
+func Build1D(values []float64, lo, hi float64, opts Options) (*Tree1D, error) {
+	if !(lo < hi) || math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("psd: invalid 1-D domain [%v, %v)", lo, hi)
+	}
+	points := make([]Point, len(values))
+	for i, v := range values {
+		points[i] = Point{X: v, Y: 0.5}
+	}
+	if opts.Kind == QuadtreeKind {
+		// Midpoint splits still work in 1-D, but the embedding wastes the
+		// y-splits; the kd variants collapse them onto the dummy axis
+		// harmlessly. Default to KDTree when the caller didn't choose.
+		opts.Kind = KDTree
+	}
+	t, err := Build(points, NewRect(lo, 0, hi, 1), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree1D{t: t, lo: lo, hi: hi}, nil
+}
+
+// Count estimates the number of values in [a, b).
+func (t *Tree1D) Count(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	if a < t.lo {
+		a = t.lo
+	}
+	if b > t.hi {
+		b = t.hi
+	}
+	if b <= a {
+		return 0
+	}
+	return t.t.Count(NewRect(a, 0, b, 1))
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the value distribution
+// from the released regions: region boundaries of a kd build are private
+// medians, so this is free post-processing.
+func (t *Tree1D) Quantile(q float64) float64 {
+	if q <= 0 {
+		return t.lo
+	}
+	if q >= 1 {
+		return t.hi
+	}
+	rects, counts := t.t.Regions()
+	type slab struct{ hi, count float64 }
+	slabs := make([]slab, len(rects))
+	var total float64
+	for i, r := range rects {
+		c := counts[i]
+		if c < 0 {
+			c = 0
+		}
+		slabs[i] = slab{hi: r.Hi.X, count: c}
+		total += c
+	}
+	if total <= 0 {
+		return (t.lo + t.hi) / 2
+	}
+	// Regions of the 1-D embedding are x-slabs; order by upper edge.
+	sort.Slice(slabs, func(i, j int) bool { return slabs[i].hi < slabs[j].hi })
+	target := q * total
+	var cum float64
+	for _, s := range slabs {
+		cum += s.count
+		if cum >= target {
+			return s.hi
+		}
+	}
+	return t.hi
+}
+
+// Tree returns the underlying 2-D tree, for access to Regions, Release and
+// metadata.
+func (t *Tree1D) Tree() *Tree { return t.t }
+
+// PrivacyCost returns the total ε the release consumed.
+func (t *Tree1D) PrivacyCost() float64 { return t.t.PrivacyCost() }

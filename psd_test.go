@@ -1,0 +1,229 @@
+package psd
+
+import (
+	"math"
+	"testing"
+)
+
+func clusteredPoints(n int, dom Rect, seed int64) []Point {
+	// A deterministic two-cluster layout without importing internal/rng:
+	// splitmix-style hashing.
+	pts := make([]Point, n)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return float64((z^(z>>31))>>11) / float64(1<<53)
+	}
+	for i := range pts {
+		u, v := next(), next()
+		if i%2 == 0 { // cluster near the lower-left
+			pts[i] = Point{
+				X: dom.Lo.X + u*dom.Width()*0.2,
+				Y: dom.Lo.Y + v*dom.Height()*0.2,
+			}
+		} else {
+			pts[i] = Point{
+				X: dom.Lo.X + u*dom.Width(),
+				Y: dom.Lo.Y + v*dom.Height(),
+			}
+		}
+	}
+	return pts
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	domain := NewRect(-124.82, 31.33, -103.00, 49.00)
+	points := clusteredPoints(20000, domain, 1)
+	tree, err := Build(points, domain, Options{
+		Kind:    KDHybrid,
+		Height:  6,
+		Epsilon: 1.0,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.PrivacyCost(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("PrivacyCost = %v, want 1.0", got)
+	}
+	if tree.Kind() != "kd-hybrid" {
+		t.Errorf("Kind = %q", tree.Kind())
+	}
+	if tree.Height() != 6 {
+		t.Errorf("Height = %d", tree.Height())
+	}
+	if tree.Domain() != domain {
+		t.Error("Domain mismatch")
+	}
+	if tree.BuildTime() == "" {
+		t.Error("BuildTime empty")
+	}
+	q := NewRect(-124.82, 31.33, -120, 36)
+	truth := 0.0
+	for _, p := range points {
+		if q.Contains(p) {
+			truth++
+		}
+	}
+	got := tree.Count(q)
+	if truth > 100 && math.Abs(got-truth)/truth > 0.5 {
+		t.Errorf("Count = %v, truth = %v: more than 50%% off at eps=1", got, truth)
+	}
+}
+
+func TestAllKindsBuild(t *testing.T) {
+	domain := NewRect(0, 0, 100, 100)
+	points := clusteredPoints(5000, domain, 2)
+	kinds := []Kind{QuadtreeKind, KDTree, KDHybrid, HilbertRTree, KDCellTree, KDNoisyMeanTree}
+	names := []string{"quadtree", "kd", "kd-hybrid", "hilbert-r", "kd-cell", "kd-noisymean"}
+	for i, k := range kinds {
+		tree, err := Build(points, domain, Options{Kind: k, Height: 4, Epsilon: 0.5, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if tree.Kind() != names[i] {
+			t.Errorf("Kind = %q, want %q", tree.Kind(), names[i])
+		}
+		if got := tree.PrivacyCost(); got > 0.5+1e-9 {
+			t.Errorf("%v: privacy cost %v exceeds budget", k, got)
+		}
+		if tree.NumRegions() == 0 {
+			t.Errorf("%v: no regions", k)
+		}
+	}
+}
+
+func TestAllBudgetsAndMedians(t *testing.T) {
+	domain := NewRect(0, 0, 100, 100)
+	points := clusteredPoints(3000, domain, 4)
+	for _, b := range []BudgetStrategy{GeometricBudget, UniformBudget, LeafOnlyBudget} {
+		if _, err := Build(points, domain, Options{
+			Kind: QuadtreeKind, Height: 3, Epsilon: 0.5, Budget: b, Seed: 5,
+		}); err != nil {
+			t.Errorf("budget %v: %v", b, err)
+		}
+	}
+	for _, m := range []MedianMethod{ExponentialMedian, SmoothMedian, SampledExponentialMedian} {
+		if _, err := Build(points, domain, Options{
+			Kind: KDTree, Height: 3, Epsilon: 0.5, Median: m, Seed: 6,
+		}); err != nil {
+			t.Errorf("median %v: %v", m, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	domain := NewRect(0, 0, 1, 1)
+	pts := clusteredPoints(10, domain, 7)
+	if _, err := Build(pts, domain, Options{Height: 2}); err == nil {
+		t.Error("zero epsilon should error")
+	}
+	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Kind: Kind(42)}); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Budget: BudgetStrategy(42)}); err == nil {
+		t.Error("unknown budget should error")
+	}
+	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Median: MedianMethod(42)}); err == nil {
+		t.Error("unknown median should error")
+	}
+	if _, err := Build(pts, Rect{}, Options{Height: 2, Epsilon: 1}); err == nil {
+		t.Error("empty domain should error")
+	}
+}
+
+func TestRegionsTileDomainForPartitionKinds(t *testing.T) {
+	domain := NewRect(0, 0, 64, 64)
+	points := clusteredPoints(2000, domain, 8)
+	for _, k := range []Kind{QuadtreeKind, KDTree, KDHybrid, KDCellTree} {
+		tree, err := Build(points, domain, Options{Kind: k, Height: 3, Epsilon: 1, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rects, counts := tree.Regions()
+		if len(rects) != len(counts) {
+			t.Fatalf("%v: rects/counts length mismatch", k)
+		}
+		var area float64
+		for _, r := range rects {
+			area += r.Area()
+		}
+		if math.Abs(area-domain.Area()) > 1e-6*domain.Area() {
+			t.Errorf("%v: regions cover %v, want %v", k, area, domain.Area())
+		}
+	}
+}
+
+func TestCountIsDeterministicAfterBuild(t *testing.T) {
+	domain := NewRect(0, 0, 10, 10)
+	points := clusteredPoints(1000, domain, 10)
+	tree, err := Build(points, domain, Options{Kind: QuadtreeKind, Height: 3, Epsilon: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewRect(1, 1, 7, 4)
+	if tree.Count(q) != tree.Count(q) {
+		t.Error("repeated queries must return identical answers")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{{X: 1, Y: 2}, {X: -3, Y: 9}}
+	bb := BoundingBox(pts)
+	for _, p := range pts {
+		if !bb.Contains(p) {
+			t.Errorf("bounding box %v misses %v", bb, p)
+		}
+	}
+}
+
+func TestTuneToWorkload(t *testing.T) {
+	domain := NewRect(0, 0, 64, 64)
+	points := clusteredPoints(20000, domain, 14)
+	workload := []Rect{
+		NewRect(1, 1, 3, 3), NewRect(10, 4, 12, 6), NewRect(40, 40, 42, 41),
+	}
+	tree, err := Build(points, domain, Options{
+		Kind: QuadtreeKind, Height: 5, Epsilon: 0.5, Seed: 15,
+		TuneToWorkload: workload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.PrivacyCost(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("tuned PrivacyCost = %v, want 0.5", got)
+	}
+	// Statistically: on its own workload, the tuned tree should beat the
+	// default geometric budget.
+	meanErr := func(tune []Rect) float64 {
+		var sum float64
+		const trials = 20
+		for s := int64(0); s < trials; s++ {
+			tr, err := Build(points, domain, Options{
+				Kind: QuadtreeKind, Height: 5, Epsilon: 0.1, Seed: 700 + s,
+				TuneToWorkload: tune,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range workload {
+				truth := 0.0
+				for _, p := range points {
+					if q.Contains(p) {
+						truth++
+					}
+				}
+				sum += math.Abs(tr.Count(q) - truth)
+			}
+		}
+		return sum / trials
+	}
+	tuned := meanErr(workload)
+	generic := meanErr(nil)
+	if tuned >= generic {
+		t.Errorf("tuned error %v should beat generic %v on its own workload", tuned, generic)
+	}
+}

@@ -1,0 +1,31 @@
+package psd
+
+import (
+	"io"
+
+	"psd/internal/core"
+)
+
+// WriteRelease serializes the tree's private release — the node rectangles
+// and released counts, nothing else — as versioned JSON. The artifact is
+// safe to publish: it is exactly the ε-differentially private output of the
+// build, and contains no exact counts or raw points.
+func (t *Tree) WriteRelease(w io.Writer) error {
+	_, err := t.inner.Release().WriteTo(w)
+	return err
+}
+
+// OpenRelease reconstructs a query-only Tree from a serialized release.
+// The result answers Count and Regions exactly as the original tree did;
+// it requires no access to the original data.
+func OpenRelease(r io.Reader) (*Tree, error) {
+	rel, err := core.ReadRelease(r)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.OpenRelease(rel)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{inner: p}, nil
+}
