@@ -9,6 +9,7 @@ package psd
 // paper-vs-measured comparison.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -296,6 +297,68 @@ func BenchmarkBuildQuadOptH10(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = tree
+	}
+}
+
+// BenchmarkBuild measures construction throughput for the representative
+// configurations (BuildBenchConfigs — shared with psdbench's JSON report)
+// across parallelism levels on the QuickScale dataset. The par=1 case is
+// the sequential baseline the speedup claims compare against; releases are
+// byte-identical across the axis, so the comparison is pure scheduling.
+// points/sec is the headline metric; allocs/op tracks the allocation-lean
+// median path.
+func BenchmarkBuild(b *testing.B) {
+	env := quickEnv(b)
+	for _, c := range BuildBenchConfigs() {
+		for _, par := range BenchParallelisms() {
+			b.Run(fmt.Sprintf("%s/par=%d", c.Name, par), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, err := Build(env.Data.Points, env.Data.Domain, Options{
+						Kind: c.Kind, Height: c.Height, Epsilon: 0.5,
+						Seed: int64(i + 1), Parallelism: par,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(env.Data.Points))*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkCountAll measures batch range-query throughput (the serving
+// path) against single-query dispatch, across the same parallelism axis.
+func BenchmarkCountAll(b *testing.B) {
+	env := quickEnv(b)
+	tree, err := Build(env.Data.Points, env.Data.Domain, Options{
+		Kind: QuadtreeKind, Height: 10, Epsilon: 0.5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := env.Queries(workload.QueryShape{W: 10, H: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A serving-sized batch: repeat the workload to 960 queries.
+	batch := make([]Rect, 0, 960)
+	for len(batch) < 960 {
+		batch = append(batch, qs.Rects...)
+	}
+	for _, par := range BenchParallelisms() {
+		b.Run(fmt.Sprintf("batch960/par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = tree.inner.CountAllWorkers(batch, par)
+			}
+			_ = out
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
 }
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"psd"
+	"psd/internal/eval"
+	"psd/internal/workload"
+)
+
+// benchReport is the machine-readable performance snapshot psdbench bench
+// writes (BENCH_build.json by default), so the perf trajectory of the build
+// and query hot paths can be compared across commits without parsing Go
+// benchmark text output.
+type benchReport struct {
+	// Schema versions the JSON layout.
+	Schema int `json:"schema"`
+	// GoVersion, CPUs and Scale describe the machine and workload.
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	Scale     string `json:"scale"`
+	Points    int    `json:"points"`
+	// UnixTime is the measurement time (seconds since epoch).
+	UnixTime int64      `json:"unix_time"`
+	Rows     []benchRow `json:"rows"`
+}
+
+// benchRow is one benchmarked configuration.
+type benchRow struct {
+	// Name is "<op>/<config>/par=<n>".
+	Name string `json:"name"`
+	// Op is "build" or "countall".
+	Op string `json:"op"`
+	// Kind is the decomposition family (build rows).
+	Kind string `json:"kind,omitempty"`
+	// Height is the tree height (build rows).
+	Height int `json:"height,omitempty"`
+	// Parallelism is the worker bound the run used (0 = all cores).
+	Parallelism int `json:"parallelism"`
+	// NsPerOp is wall time per operation (one build, or one batch).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from the Go benchmark framework.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// PointsPerSec is build throughput (build rows).
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	// QueriesPerSec is batch query throughput (countall rows).
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+}
+
+// runBenchJSON measures the representative build and batch-query
+// configurations at the given scale and writes the report to outPath.
+func runBenchJSON(env *eval.Env, scale eval.Scale, outPath string) error {
+	report := benchReport{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.GOMAXPROCS(0),
+		Scale:     scale.Name,
+		Points:    len(env.Data.Points),
+		UnixTime:  time.Now().Unix(),
+	}
+	parLevels := psd.BenchParallelisms()
+
+	// The configuration table is shared with bench_test.go's BenchmarkBuild
+	// so the JSON report and the go-benchmark suite measure the same thing.
+	for _, c := range psd.BuildBenchConfigs() {
+		for _, par := range parLevels {
+			kind, height, parallelism := c.Kind, c.Height, par
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := psd.Build(env.Data.Points, env.Data.Domain, psd.Options{
+						Kind: kind, Height: height, Epsilon: 0.5,
+						Seed: int64(i + 1), Parallelism: parallelism,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := float64(res.NsPerOp())
+			report.Rows = append(report.Rows, benchRow{
+				Name:         fmt.Sprintf("build/%s/par=%d", c.Name, par),
+				Op:           "build",
+				Kind:         c.Kind.String(),
+				Height:       c.Height,
+				Parallelism:  par,
+				NsPerOp:      ns,
+				AllocsPerOp:  res.AllocsPerOp(),
+				BytesPerOp:   res.AllocedBytesPerOp(),
+				PointsPerSec: float64(len(env.Data.Points)) * 1e9 / ns,
+			})
+			fmt.Printf("build/%-16s par=%-2d %12.0f ns/op %10d allocs/op %12.0f points/sec\n",
+				c.Name, par, ns, res.AllocsPerOp(), float64(len(env.Data.Points))*1e9/ns)
+		}
+	}
+
+	tree, err := psd.Build(env.Data.Points, env.Data.Domain, psd.Options{
+		Kind: psd.QuadtreeKind, Height: 10, Epsilon: 0.5, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	qs, err := env.Queries(workload.QueryShape{W: 10, H: 10})
+	if err != nil {
+		return err
+	}
+	batch := make([]psd.Rect, 0, 960)
+	for len(batch) < 960 {
+		batch = append(batch, qs.Rects...)
+	}
+	for _, par := range parLevels {
+		parallelism := par
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// par=0 would also work; pin the axis value for the report.
+				_ = treeCountAll(tree, batch, parallelism)
+			}
+		})
+		ns := float64(res.NsPerOp())
+		report.Rows = append(report.Rows, benchRow{
+			Name:          fmt.Sprintf("countall/batch%d/par=%d", len(batch), par),
+			Op:            "countall",
+			Parallelism:   par,
+			NsPerOp:       ns,
+			AllocsPerOp:   res.AllocsPerOp(),
+			BytesPerOp:    res.AllocedBytesPerOp(),
+			QueriesPerSec: float64(len(batch)) * 1e9 / ns,
+		})
+		fmt.Printf("countall/batch%-6d par=%-2d %12.0f ns/op %10d allocs/op %12.0f queries/sec\n",
+			len(batch), par, ns, res.AllocsPerOp(), float64(len(batch))*1e9/ns)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s (%d rows)\n", outPath, len(report.Rows))
+	return nil
+}
+
+// treeCountAll pins the worker count for reporting. The public CountAll
+// always uses every core; the report wants the explicit axis.
+func treeCountAll(t *psd.Tree, qs []psd.Rect, workers int) []float64 {
+	if workers <= 1 {
+		out := make([]float64, len(qs))
+		for i, q := range qs {
+			out[i] = t.Count(q)
+		}
+		return out
+	}
+	return t.CountAll(qs)
+}

@@ -18,7 +18,10 @@
 //	grid    flat-grid baseline [6] vs optimized quadtree
 //	ablate  parameter sweeps (switch level, count fraction, budget ratio,
 //	        Hilbert order, pruning threshold)
-//	all     everything above
+//	bench   build/query hot-path microbenchmarks, written as JSON
+//	        (-benchout, default BENCH_build.json) so the performance
+//	        trajectory is machine-readable across commits
+//	all     everything above (except bench)
 //
 // Flags:
 //
@@ -45,8 +48,10 @@ func main() {
 	paper := flag.Bool("paper", os.Getenv("PSD_PAPER_SCALE") == "1",
 		"run at full paper scale (slow)")
 	seed := flag.Int64("seed", 0, "override experiment seed (0 keeps default)")
+	benchOut := flag.String("benchout", "BENCH_build.json",
+		"output path for the bench experiment's JSON report")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|bench|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,13 +69,13 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	if err := run(which, scale, *paper); err != nil {
+	if err := run(which, scale, *paper, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "psdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, scale eval.Scale, paper bool) error {
+func run(which string, scale eval.Scale, paper bool, benchOut string) error {
 	needEnv := which != "fig2" && which != "fig4" && which != "fig7b"
 	var env *eval.Env
 	if needEnv || which == "all" {
@@ -169,6 +174,9 @@ func run(which string, scale eval.Scale, paper bool) error {
 			}
 			eval.PrintGridBaseline(os.Stdout, rows)
 			return nil
+		},
+		"bench": func() error {
+			return runBenchJSON(env, scale, benchOut)
 		},
 		"ablate": func() error {
 			shapes := []workload.QueryShape{{W: 1, H: 1}, {W: 10, H: 10}}

@@ -29,6 +29,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"psd/internal/budget"
@@ -147,6 +148,14 @@ type Config struct {
 	// kd-true baseline ("exact medians but noisy counts"). The whole ε then
 	// funds counts.
 	TrueMedians bool
+
+	// Parallelism bounds the number of worker goroutines Build uses across
+	// all phases (subtree construction, the noisy-count release, OLS
+	// post-processing and pruning). Zero means one worker per available
+	// core (runtime.GOMAXPROCS); 1 forces a fully sequential build. The
+	// released tree is byte-identical at every setting for a fixed Seed.
+	// Negative values are an error.
+	Parallelism int
 }
 
 // withDefaults returns a copy of c with defaults filled in, or an error if
@@ -165,6 +174,9 @@ func (c Config) withDefaults(domain geom.Rect) (Config, error) {
 	}
 	if domain.Empty() {
 		return c, fmt.Errorf("core: empty domain %v", domain)
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	if c.Strategy == nil {
 		c.Strategy = budget.Geometric{}
@@ -201,7 +213,9 @@ func (c Config) withDefaults(domain geom.Rect) (Config, error) {
 		if c.NonPrivate {
 			c.Noise = dp.ZeroNoise{}
 		} else {
-			c.Noise = dp.NewLaplace(rng.New(c.Seed ^ 0x636f756e74))
+			// A StreamNoise source: node i draws from stream i, so the
+			// release is identical however the level sweep is scheduled.
+			c.Noise = dp.NewSeededLaplace(c.Seed ^ 0x636f756e74)
 		}
 	}
 	if c.HilbertOrder == 0 {
@@ -241,6 +255,12 @@ type PSD struct {
 	postProcessed bool
 	pruneAt       float64
 	stats         BuildStats
+	// effLeaves is the number of effective leaf regions (actual leaves plus
+	// pruned subtree roots); LeafRegions pre-sizes its output with it.
+	effLeaves int
+	// medianCalls accumulates across build workers; Stats() reads the
+	// settled value.
+	medianCalls atomic.Int64
 }
 
 // Kind returns the decomposition family.

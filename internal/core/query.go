@@ -2,6 +2,7 @@ package core
 
 import (
 	"psd/internal/geom"
+	"psd/internal/par"
 )
 
 // QueryStats describes how a query was answered.
@@ -9,28 +10,100 @@ type QueryStats struct {
 	// NodesAdded is n(Q): the number of node counts summed into the answer
 	// (Section 4.1). Partial leaves count too.
 	NodesAdded int
-	// NodesVisited is the number of nodes the recursion touched.
+	// NodesVisited is the number of nodes the traversal touched.
 	NodesVisited int
 	// PartialLeaves is the number of leaves answered under the uniformity
 	// assumption.
 	PartialLeaves int
 }
 
+// queryStack is the explicit DFS stack of the iterative query engine. A
+// complete fanout-4 tree never holds more than 3h+1 pending nodes, so one
+// small reusable buffer replaces the recursion the hot loops used to pay
+// for. int32 suffices: tree.MaxNodes < 2^31.
+type queryStack []int32
+
+func (p *PSD) newQueryStack() queryStack {
+	return make(queryStack, 0, 3*p.arena.Height()+1)
+}
+
 // Query estimates the number of data points inside q using the canonical
 // range-query method of Section 4.1: starting from the root, nodes fully
 // contained in q contribute their (post-processed) count, partially
-// intersecting internal nodes recurse, and partially intersecting leaves
+// intersecting internal nodes descend, and partially intersecting leaves
 // contribute under the uniformity assumption.
 func (p *PSD) Query(q geom.Rect) float64 {
 	var st QueryStats
-	return p.queryNode(0, q, &st)
+	stack := p.newQueryStack()
+	return p.queryIter(q, &stack, &st)
 }
 
 // QueryWithStats is Query plus diagnostics.
 func (p *PSD) QueryWithStats(q geom.Rect) (float64, QueryStats) {
 	var st QueryStats
-	ans := p.queryNode(0, q, &st)
+	stack := p.newQueryStack()
+	ans := p.queryIter(q, &stack, &st)
 	return ans, st
+}
+
+// CountAll answers a batch of range queries, spreading them across one
+// worker per available core. Answers come back in input order and are
+// identical to issuing each Query alone (queries are pure reads of the
+// released tree). Use CountAllWorkers to bound the pool.
+func (p *PSD) CountAll(qs []geom.Rect) []float64 {
+	return p.CountAllWorkers(qs, 0)
+}
+
+// CountAllWorkers is CountAll with an explicit worker bound (0 = one per
+// core, 1 = inline on the caller's goroutine).
+func (p *PSD) CountAllWorkers(qs []geom.Rect, workers int) []float64 {
+	out := make([]float64, len(qs))
+	par.For(par.Workers(workers), 0, len(qs), 8, func(lo, hi int) {
+		stack := p.newQueryStack()
+		var st QueryStats
+		for i := lo; i < hi; i++ {
+			out[i] = p.queryIter(qs[i], &stack, &st)
+		}
+	})
+	return out
+}
+
+// queryIter runs the canonical method with an explicit stack, reusing the
+// caller's buffer across queries.
+func (p *PSD) queryIter(q geom.Rect, stack *queryStack, st *QueryStats) float64 {
+	nodes := p.arena.Nodes
+	s := (*stack)[:0]
+	s = append(s, 0)
+	var sum float64
+	for len(s) > 0 {
+		idx := int(s[len(s)-1])
+		s = s[:len(s)-1]
+		n := &nodes[idx]
+		st.NodesVisited++
+		if !n.Rect.Intersects(q) {
+			continue
+		}
+		usable := n.Published || p.postProcessed
+		if q.ContainsRect(n.Rect) && usable {
+			st.NodesAdded++
+			sum += n.Est
+			continue
+		}
+		if p.arena.IsLeaf(idx) || n.Pruned {
+			if !usable {
+				continue // no released information at or below this node
+			}
+			st.NodesAdded++
+			st.PartialLeaves++
+			sum += n.Est * n.Rect.OverlapFraction(q)
+			continue
+		}
+		cs := p.arena.ChildStart(idx)
+		// Push in reverse so children pop — and contribute — in order.
+		s = append(s, int32(cs+3), int32(cs+2), int32(cs+1), int32(cs))
+	}
+	*stack = s
+	return sum
 }
 
 // TrueAnswer returns the exact count of data points in q, computed from the
@@ -40,33 +113,6 @@ func (p *PSD) QueryWithStats(q geom.Rect) (float64, QueryStats) {
 // for evaluation and is not part of a private release.
 func (p *PSD) TrueAnswer(q geom.Rect) float64 {
 	return p.trueNode(0, q)
-}
-
-func (p *PSD) queryNode(idx int, q geom.Rect, st *QueryStats) float64 {
-	n := &p.arena.Nodes[idx]
-	st.NodesVisited++
-	if !n.Rect.Intersects(q) {
-		return 0
-	}
-	usable := n.Published || p.postProcessed
-	if q.ContainsRect(n.Rect) && usable {
-		st.NodesAdded++
-		return n.Est
-	}
-	if p.arena.IsLeaf(idx) || n.Pruned {
-		if !usable {
-			return 0 // no released information at or below this node
-		}
-		st.NodesAdded++
-		st.PartialLeaves++
-		return n.Est * n.Rect.OverlapFraction(q)
-	}
-	var sum float64
-	cs := p.arena.ChildStart(idx)
-	for j := 0; j < 4; j++ {
-		sum += p.queryNode(cs+j, q, st)
-	}
-	return sum
 }
 
 func (p *PSD) trueNode(idx int, q geom.Rect) float64 {
@@ -90,23 +136,31 @@ func (p *PSD) trueNode(idx int, q geom.Rect) float64 {
 
 // LeafRegions returns the rectangles and estimated counts of the effective
 // leaves of the release: actual leaves plus pruned subtree roots. This is
-// the flat view applications like record matching block on.
+// the flat view applications like record matching block on. The traversal
+// is iterative and the output exactly pre-sized (the build tracks how many
+// leaf regions pruning removed), so large trees pay a single allocation
+// per slice instead of a realloc cascade.
 func (p *PSD) LeafRegions() ([]geom.Rect, []float64) {
-	var rects []geom.Rect
-	var counts []float64
-	var rec func(idx int)
-	rec = func(idx int) {
+	capHint := p.effLeaves
+	if capHint < 1 {
+		capHint = 1
+	}
+	rects := make([]geom.Rect, 0, capHint)
+	counts := make([]float64, 0, capHint)
+	stack := p.newQueryStack()
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		idx := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
 		n := &p.arena.Nodes[idx]
 		if p.arena.IsLeaf(idx) || n.Pruned {
 			rects = append(rects, n.Rect)
 			counts = append(counts, n.Est)
-			return
+			continue
 		}
 		cs := p.arena.ChildStart(idx)
-		for j := 0; j < 4; j++ {
-			rec(cs + j)
-		}
+		// Reverse push keeps the historical left-to-right region order.
+		stack = append(stack, int32(cs+3), int32(cs+2), int32(cs+1), int32(cs))
 	}
-	rec(0)
 	return rects, counts
 }

@@ -132,11 +132,20 @@ func OpenRelease(rel *Release) (*PSD, error) {
 			ar.Nodes[i].Published = true
 		}
 	}
+	effLeaves := ar.NumLeaves()
 	for _, i := range rel.Pruned {
 		if i < 0 || i >= ar.Len() {
 			return nil, fmt.Errorf("core: pruned index %d out of range", i)
 		}
 		ar.Nodes[i].Pruned = true
+		// Each pruned depth-d root collapses its 4^(h-d) leaves into one
+		// region; track the loss so LeafRegions can pre-size exactly.
+		if d := ar.Depth(i); d < rel.Height {
+			effLeaves -= 1<<(2*(rel.Height-d)) - 1
+		}
+	}
+	if effLeaves < 1 {
+		effLeaves = 1
 	}
 	kind, err := parseKind(rel.Kind)
 	if err != nil {
@@ -153,6 +162,7 @@ func OpenRelease(rel *Release) (*PSD, error) {
 		postProcessed: false,
 		countEps:      make([]float64, rel.Height+1),
 		structEps:     rel.Epsilon, // conservative: the whole spend
+		effLeaves:     effLeaves,
 	}, nil
 }
 

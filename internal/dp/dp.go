@@ -38,6 +38,60 @@ type NoiseSource interface {
 	Variance(sensitivity, eps float64) float64
 }
 
+// StreamNoise is a NoiseSource that can additionally derive its noise from
+// a caller-chosen stream id instead of an internal sequential stream. The
+// variate for a given (stream, value, sensitivity, eps) is a pure function
+// of the source's seed and the arguments — independent of call order and
+// safe to invoke from many goroutines at once — which is what lets the tree
+// release loop run in parallel while staying byte-identical to a sequential
+// release.
+type StreamNoise interface {
+	NoiseSource
+
+	// AddAt is Add drawing from the stream-th noise stream.
+	AddAt(stream uint64, value, sensitivity, eps float64) float64
+}
+
+// saltNoise namespaces the per-stream noise draws away from any other use
+// of the same base seed.
+const saltNoise = 0x6e6f697365 // "noise"
+
+// SeededLaplace is the Laplace mechanism with order-independent per-stream
+// noise: stream i's variate depends only on (seed, i). It also supports the
+// legacy sequential Add for callers without a natural stream id (the grid
+// release uses it cell-by-cell).
+type SeededLaplace struct {
+	seed int64
+	seq  *rng.Source
+}
+
+// NewSeededLaplace returns a Laplace StreamNoise derived from seed.
+func NewSeededLaplace(seed int64) *SeededLaplace {
+	return &SeededLaplace{seed: seed, seq: rng.New(seed)}
+}
+
+// Add implements NoiseSource from the internal sequential stream.
+func (l *SeededLaplace) Add(value, sensitivity, eps float64) float64 {
+	if eps <= 0 {
+		return value
+	}
+	return value + l.seq.Laplace(sensitivity/eps)
+}
+
+// AddAt implements StreamNoise.
+func (l *SeededLaplace) AddAt(stream uint64, value, sensitivity, eps float64) float64 {
+	if eps <= 0 {
+		return value
+	}
+	src := rng.At(l.seed, stream, saltNoise)
+	return value + src.Laplace(sensitivity/eps)
+}
+
+// Variance implements NoiseSource.
+func (l *SeededLaplace) Variance(sensitivity, eps float64) float64 {
+	return LaplaceVariance(sensitivity, eps)
+}
+
 // Laplace is the standard Laplace mechanism (Definition 2): it adds
 // Lap(sensitivity/eps) noise.
 type Laplace struct {
@@ -109,6 +163,9 @@ type ZeroNoise struct{}
 // Add implements NoiseSource by returning value unchanged.
 func (ZeroNoise) Add(value, _, _ float64) float64 { return value }
 
+// AddAt implements StreamNoise by returning value unchanged.
+func (ZeroNoise) AddAt(_ uint64, value, _, _ float64) float64 { return value }
+
 // Variance implements NoiseSource; the zero source is noiseless.
 func (ZeroNoise) Variance(_, _ float64) float64 { return 0 }
 
@@ -122,6 +179,14 @@ func (ZeroNoise) Variance(_, _ float64) float64 { return 0 }
 // The computation is done in log space with a max-shift so it cannot
 // overflow regardless of eps or score magnitudes.
 func ExpMechanism(src *rng.Source, scores []float64, weight []float64, eps, sens float64) (int, error) {
+	return ExpMechanismBuf(src, scores, weight, eps, sens, nil)
+}
+
+// ExpMechanismBuf is ExpMechanism with a caller-provided scratch buffer for
+// the log-weights. When len(buf) >= len(scores) no allocation happens; a
+// nil or short buf falls back to allocating. The buffer's contents are
+// overwritten.
+func ExpMechanismBuf(src *rng.Source, scores []float64, weight []float64, eps, sens float64, buf []float64) (int, error) {
 	n := len(scores)
 	if n == 0 {
 		return 0, errors.New("dp: exponential mechanism over empty outcome set")
@@ -132,7 +197,11 @@ func ExpMechanism(src *rng.Source, scores []float64, weight []float64, eps, sens
 	if sens <= 0 {
 		return 0, errors.New("dp: exponential mechanism needs positive sensitivity")
 	}
-	logw := make([]float64, n)
+	logw := buf
+	if len(logw) < n {
+		logw = make([]float64, n)
+	}
+	logw = logw[:n]
 	maxLog := math.Inf(-1)
 	for i, s := range scores {
 		lw := eps * s / (2 * sens)

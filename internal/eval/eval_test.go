@@ -14,8 +14,8 @@ import (
 var tinyScale = Scale{
 	Name:            "tiny",
 	Points:          20000,
-	QueriesPerShape: 20,
-	Reps:            2,
+	QueriesPerShape: 30,
+	Reps:            4,
 	MedianValues:    1 << 12,
 	Seed:            99,
 }

@@ -161,6 +161,14 @@ func (g *Grid) query(q geom.Rect, counts []float64) float64 {
 // noisy cells are floored at zero so the cumulative mass is monotone. When
 // r carries no noisy mass the midpoint of r's extent is returned.
 func (g *Grid) MedianAlong(r geom.Rect, axis geom.Axis) float64 {
+	return g.MedianAlongBuf(r, axis, nil)
+}
+
+// MedianAlongBuf is MedianAlong with a caller-provided slab-mass buffer of
+// length nx (AxisX) or ny (AxisY); a nil or short buf allocates. The grid
+// is immutable after Build, so concurrent calls with distinct buffers are
+// safe — the kd-cell tree builder runs one buffer per worker.
+func (g *Grid) MedianAlongBuf(r geom.Rect, axis geom.Axis, buf []float64) float64 {
 	lo, hi := r.Range(axis)
 	if hi <= lo {
 		return lo
@@ -189,7 +197,12 @@ func (g *Grid) MedianAlong(r geom.Rect, axis geom.Axis) float64 {
 	y1 := g.clampY(int(math.Ceil((inter.Hi.Y-g.domain.Lo.Y)/g.cellH)) - 1)
 
 	// Accumulate the (overlap-weighted, floored) noisy mass per slab.
-	mass := make([]float64, n)
+	mass := buf
+	if len(mass) < n {
+		mass = make([]float64, n)
+	}
+	mass = mass[:n]
+	clear(mass)
 	var total float64
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {

@@ -15,11 +15,18 @@
 // split point. Given an empty input every finder degrades to a data-
 // independent choice, which costs no budget but is charged anyway for
 // simplicity (a conservative accounting).
+//
+// Every built-in finder also implements StreamFinder, the hot-path variant
+// the tree builders use: the caller supplies the randomness stream and a
+// reusable Scratch, so a build performs no per-median allocation and a
+// node's split depends only on its own stream — the property that lets
+// subtrees build in parallel yet release byte-identical trees.
 package median
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"psd/internal/dp"
@@ -39,6 +46,66 @@ type Finder interface {
 	Name() string
 }
 
+// StreamFinder is a Finder whose randomness and working memory can be
+// supplied per call. MedianAt must not retain sc, must draw all randomness
+// from src, and must be safe for concurrent calls with distinct (src, sc)
+// pairs. The tree builders require this interface for parallel
+// construction; a Finder without it forces a sequential build.
+//
+// src travels by value deliberately: a Source is two words, and passing a
+// pointer through an interface call would force a heap allocation per
+// median (the callee type is opaque to escape analysis). The caller hands
+// over a throwaway stream; whatever state is left after the call is
+// discarded.
+type StreamFinder interface {
+	Finder
+
+	// MedianAt is Median drawing randomness from src and using sc for all
+	// temporary buffers. values may be overwritten.
+	MedianAt(src rng.Source, sc *Scratch, values []float64, lo, hi, eps float64) (float64, error)
+}
+
+// Streamable reports whether f's MedianAt really is order-independent: f
+// must implement StreamFinder, and wrappers must wrap streamable inners.
+// A Sampled around a legacy Finder satisfies the StreamFinder interface
+// syntactically but falls back to the inner's hidden stream state, so the
+// tree builders must gate on this predicate — not a bare type assertion —
+// before fanning splits across goroutines.
+func Streamable(f Finder) bool {
+	if s, ok := f.(*Sampled); ok {
+		return Streamable(s.Inner)
+	}
+	_, ok := f.(StreamFinder)
+	return ok
+}
+
+// Scratch holds the reusable buffers of the median hot path so repeated
+// calls allocate nothing once the buffers have grown to the working-set
+// size. The zero value is ready to use. A Scratch is not safe for
+// concurrent use — keep one per goroutine.
+type Scratch struct {
+	coords  []float64 // axis coordinates, filled by the tree builders
+	sorted  []float64 // clamped, sorted copy of the input values
+	scores  []float64 // exponential-mechanism rank scores
+	weights []float64 // exponential-mechanism interval widths
+	logw    []float64 // exponential-mechanism log-weight accumulator
+	sample  []float64 // Bernoulli-sampled subset (Sampled wrapper)
+	idx     []int     // sampled index buffer
+}
+
+// Coords returns the scratch coordinate buffer resized to n. Tree builders
+// fill it with the axis coordinates of a node's points before calling
+// MedianAt; its contents are invalidated by the next median call.
+func (sc *Scratch) Coords(n int) []float64 { return growFloats(&sc.coords, n) }
+
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n, n+n/4+16)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 func checkDomain(lo, hi float64) error {
 	if !(lo < hi) || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
 		return fmt.Errorf("median: invalid domain [%v, %v]", lo, hi)
@@ -46,10 +113,10 @@ func checkDomain(lo, hi float64) error {
 	return nil
 }
 
-// sortedClamped returns a sorted copy of values with each entry clamped
-// into [lo, hi].
-func sortedClamped(values []float64, lo, hi float64) []float64 {
-	out := make([]float64, len(values))
+// sortedClamped fills sc.sorted with values clamped into [lo, hi], sorted
+// ascending, and returns it.
+func (sc *Scratch) sortedClamped(values []float64, lo, hi float64) []float64 {
+	out := growFloats(&sc.sorted, len(values))
 	for i, v := range values {
 		switch {
 		case v < lo:
@@ -60,7 +127,7 @@ func sortedClamped(values []float64, lo, hi float64) []float64 {
 			out[i] = v
 		}
 	}
-	sort.Float64s(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -73,14 +140,21 @@ func lowerMedianIndex(n int) int { return (n + 1) / 2 }
 type Exact struct{}
 
 // Median implements Finder.
-func (Exact) Median(values []float64, lo, hi, _ float64) (float64, error) {
+func (e Exact) Median(values []float64, lo, hi, eps float64) (float64, error) {
+	var sc Scratch
+	return e.MedianAt(rng.Source{}, &sc, values, lo, hi, eps)
+}
+
+// MedianAt implements StreamFinder; the exact median consumes no
+// randomness, so src is ignored.
+func (Exact) MedianAt(_ rng.Source, sc *Scratch, values []float64, lo, hi, _ float64) (float64, error) {
 	if err := checkDomain(lo, hi); err != nil {
 		return 0, err
 	}
 	if len(values) == 0 {
 		return (lo + hi) / 2, nil
 	}
-	s := sortedClamped(values, lo, hi)
+	s := sc.sortedClamped(values, lo, hi)
 	return s[lowerMedianIndex(len(s))-1], nil
 }
 
@@ -96,8 +170,14 @@ type EM struct {
 	Src *rng.Source
 }
 
-// Median implements Finder.
+// Median implements Finder, drawing from the finder's own Src.
 func (e *EM) Median(values []float64, lo, hi, eps float64) (float64, error) {
+	var sc Scratch
+	return e.MedianAt(*e.Src.Split(), &sc, values, lo, hi, eps)
+}
+
+// MedianAt implements StreamFinder.
+func (e *EM) MedianAt(src rng.Source, sc *Scratch, values []float64, lo, hi, eps float64) (float64, error) {
 	if err := checkDomain(lo, hi); err != nil {
 		return 0, err
 	}
@@ -108,14 +188,15 @@ func (e *EM) Median(values []float64, lo, hi, eps float64) (float64, error) {
 	if n == 0 {
 		// All ranks are 0 = rank of the median: the mechanism is uniform
 		// over the domain.
-		return e.Src.UniformIn(lo, hi), nil
+		return src.UniformIn(lo, hi), nil
 	}
-	s := sortedClamped(values, lo, hi)
+	s := sc.sortedClamped(values, lo, hi)
 	m := lowerMedianIndex(n)
 	// Intervals I_k = [x_k, x_{k+1}) for k = 0..n with x_0 = lo, x_{n+1} = hi
 	// (1-based data). Interval k has rank k; score is -|k - m|.
-	scores := make([]float64, n+1)
-	weights := make([]float64, n+1)
+	scores := growFloats(&sc.scores, n+1)
+	weights := growFloats(&sc.weights, n+1)
+	logw := growFloats(&sc.logw, n+1)
 	for k := 0; k <= n; k++ {
 		left := lo
 		if k >= 1 {
@@ -128,7 +209,7 @@ func (e *EM) Median(values []float64, lo, hi, eps float64) (float64, error) {
 		scores[k] = -math.Abs(float64(k - m))
 		weights[k] = right - left
 	}
-	k, err := dp.ExpMechanism(e.Src, scores, weights, eps, 1)
+	k, err := dp.ExpMechanismBuf(&src, scores, weights, eps, 1, logw)
 	if err != nil {
 		// All intervals can have zero width (every value identical and equal
 		// to a domain endpoint, say); any point of the collapsed support is
@@ -146,7 +227,7 @@ func (e *EM) Median(values []float64, lo, hi, eps float64) (float64, error) {
 	if right <= left {
 		return left, nil
 	}
-	return e.Src.UniformIn(left, right), nil
+	return src.UniformIn(left, right), nil
 }
 
 // Name implements Finder.
@@ -162,22 +243,28 @@ type SS struct {
 	Delta float64
 }
 
-// Median implements Finder.
+// Median implements Finder, drawing from the finder's own Src.
 func (s *SS) Median(values []float64, lo, hi, eps float64) (float64, error) {
+	var sc Scratch
+	return s.MedianAt(*s.Src.Split(), &sc, values, lo, hi, eps)
+}
+
+// MedianAt implements StreamFinder.
+func (s *SS) MedianAt(src rng.Source, sc *Scratch, values []float64, lo, hi, eps float64) (float64, error) {
 	if err := checkDomain(lo, hi); err != nil {
 		return 0, err
 	}
 	if len(values) == 0 {
-		return s.Src.UniformIn(lo, hi), nil
+		return src.UniformIn(lo, hi), nil
 	}
 	xi, err := dp.SmoothXi(eps, s.Delta)
 	if err != nil {
 		return 0, err
 	}
-	v := sortedClamped(values, lo, hi)
+	v := sc.sortedClamped(values, lo, hi)
 	sigma := SmoothSensitivity(v, lo, hi, xi)
 	m := lowerMedianIndex(len(v))
-	out := v[m-1] + (2*sigma/eps)*s.Src.Laplace(1)
+	out := v[m-1] + (2*sigma/eps)*src.Laplace(1)
 	return clamp(out, lo, hi), nil
 }
 
@@ -233,8 +320,14 @@ type NM struct {
 	Src *rng.Source
 }
 
-// Median implements Finder.
+// Median implements Finder, drawing from the finder's own Src.
 func (nm *NM) Median(values []float64, lo, hi, eps float64) (float64, error) {
+	var sc Scratch
+	return nm.MedianAt(*nm.Src.Split(), &sc, values, lo, hi, eps)
+}
+
+// MedianAt implements StreamFinder.
+func (nm *NM) MedianAt(src rng.Source, _ *Scratch, values []float64, lo, hi, eps float64) (float64, error) {
 	if err := checkDomain(lo, hi); err != nil {
 		return 0, err
 	}
@@ -247,8 +340,8 @@ func (nm *NM) Median(values []float64, lo, hi, eps float64) (float64, error) {
 		sum += clamp(v, lo, hi) - lo
 	}
 	half := eps / 2
-	noisySum := sum + nm.Src.Laplace(M/half)
-	noisyCount := float64(len(values)) + nm.Src.Laplace(1/half)
+	noisySum := sum + src.Laplace(M/half)
+	noisyCount := float64(len(values)) + src.Laplace(1/half)
 	if noisyCount < 1 {
 		// Too little signal to divide by; fall back to the domain midpoint,
 		// which is what an (almost) empty node deserves.
@@ -271,8 +364,14 @@ type Cell struct {
 	Cells int
 }
 
-// Median implements Finder.
+// Median implements Finder, drawing from the finder's own Src.
 func (c *Cell) Median(values []float64, lo, hi, eps float64) (float64, error) {
+	var sc Scratch
+	return c.MedianAt(*c.Src.Split(), &sc, values, lo, hi, eps)
+}
+
+// MedianAt implements StreamFinder.
+func (c *Cell) MedianAt(src rng.Source, sc *Scratch, values []float64, lo, hi, eps float64) (float64, error) {
 	if err := checkDomain(lo, hi); err != nil {
 		return 0, err
 	}
@@ -280,7 +379,8 @@ func (c *Cell) Median(values []float64, lo, hi, eps float64) (float64, error) {
 		return 0, fmt.Errorf("median: cell method needs at least 1 cell, got %d", c.Cells)
 	}
 	width := (hi - lo) / float64(c.Cells)
-	counts := make([]float64, c.Cells)
+	counts := growFloats(&sc.scores, c.Cells)
+	clear(counts)
 	for _, v := range values {
 		idx := int((clamp(v, lo, hi) - lo) / width)
 		if idx >= c.Cells {
@@ -290,7 +390,7 @@ func (c *Cell) Median(values []float64, lo, hi, eps float64) (float64, error) {
 	}
 	var total float64
 	for i := range counts {
-		counts[i] += c.Src.Laplace(1 / eps)
+		counts[i] += src.Laplace(1 / eps)
 		if counts[i] < 0 {
 			counts[i] = 0 // negative mass would make the CDF non-monotone
 		}
@@ -330,8 +430,18 @@ type Sampled struct {
 	Rate float64
 }
 
-// Median implements Finder.
+// Median implements Finder, drawing from the finder's own Src.
 func (s *Sampled) Median(values []float64, lo, hi, eps float64) (float64, error) {
+	var sc Scratch
+	return s.MedianAt(*s.Src.Split(), &sc, values, lo, hi, eps)
+}
+
+// MedianAt implements StreamFinder. The sampling draw and the inner
+// mechanism share src, so one stream fully determines the call. An Inner
+// that is itself a StreamFinder keeps the call allocation-free and
+// order-independent; a plain Finder falls back to its own Median (and its
+// own internal randomness).
+func (s *Sampled) MedianAt(src rng.Source, sc *Scratch, values []float64, lo, hi, eps float64) (float64, error) {
 	if err := checkDomain(lo, hi); err != nil {
 		return 0, err
 	}
@@ -342,10 +452,13 @@ func (s *Sampled) Median(values []float64, lo, hi, eps float64) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	idx := s.Src.SampleBernoulli(len(values), s.Rate)
-	sample := make([]float64, len(idx))
-	for i, j := range idx {
+	sc.idx = src.SampleBernoulliInto(sc.idx, len(values), s.Rate)
+	sample := growFloats(&sc.sample, len(sc.idx))
+	for i, j := range sc.idx {
 		sample[i] = values[j]
+	}
+	if sf, ok := s.Inner.(StreamFinder); ok {
+		return sf.MedianAt(src, sc, sample, lo, hi, inner)
 	}
 	return s.Inner.Median(sample, lo, hi, inner)
 }
@@ -364,7 +477,7 @@ func RankError(values []float64, v float64) float64 {
 	}
 	s := make([]float64, n)
 	copy(s, values)
-	sort.Float64s(s)
+	slices.Sort(s)
 	if v < s[0] || v > s[n-1] {
 		return 1
 	}

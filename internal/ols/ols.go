@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"psd/internal/par"
 	"psd/internal/tree"
 )
 
@@ -37,6 +38,15 @@ import (
 // their Noisy field, and receive consistent estimates like everyone else.
 // The running time and extra space are O(number of nodes).
 func Estimate(t *tree.Tree, epsByLevel []float64) error {
+	return EstimateWorkers(t, epsByLevel, 0)
+}
+
+// EstimateWorkers is Estimate with an explicit worker bound (0 = one per
+// core, 1 = sequential). All three phases are per-level sweeps whose nodes
+// depend only on the previous level, so each level chunks across the pool;
+// per-node arithmetic is untouched and the result is bit-identical at any
+// worker count.
+func EstimateWorkers(t *tree.Tree, epsByLevel []float64, workers int) error {
 	h := t.Height()
 	if len(epsByLevel) != h+1 {
 		return fmt.Errorf("ols: %d level budgets for height %d (want %d)", len(epsByLevel), h, h+1)
@@ -64,32 +74,43 @@ func Estimate(t *tree.Tree, epsByLevel []float64) error {
 		fj *= f
 	}
 
+	workers = par.Workers(workers)
 	nodes := t.Nodes
+	fan := t.Fanout()
+	// Parent/child indices come from the level offsets directly (cheaper
+	// than tree.Parent's depth scan in these hot loops): the i-th node of
+	// depth d has parent pLo + (i-lo)/fan and first child cLo + (i-lo)*fan.
+
 	// Phase I (top-down): α_u = α_par(u) + ε²_{h(u)}·Y_u, so each leaf v ends
 	// with Z_v = Σ_{w ∈ anc(v)} ε²_{h(w)}·Y_w.
 	z := make([]float64, len(nodes))
 	z[0] = eps2[h] * publishedNoisy(&nodes[0])
 	for d := 1; d <= h; d++ {
 		lo, hi := t.DepthRange(d)
+		pLo, _ := t.DepthRange(d - 1)
 		level := h - d
-		for i := lo; i < hi; i++ {
-			z[i] = z[t.Parent(i)] + eps2[level]*publishedNoisy(&nodes[i])
-		}
+		par.For(workers, lo, hi, 2048, func(a, b int) {
+			for i := a; i < b; i++ {
+				z[i] = z[pLo+(i-lo)/fan] + eps2[level]*publishedNoisy(&nodes[i])
+			}
+		})
 	}
 
 	// Phase II (bottom-up): internal Z_v = Σ_{u ∈ child(v)} Z_u, giving
 	// Z_v = Σ_{u ≺ v} Σ_{w ∈ anc(u)} ε²_{h(w)}·Y_w.
-	fan := t.Fanout()
 	for d := h - 1; d >= 0; d-- {
 		lo, hi := t.DepthRange(d)
-		for i := lo; i < hi; i++ {
-			cs := t.ChildStart(i)
-			var sum float64
-			for j := 0; j < fan; j++ {
-				sum += z[cs+j]
+		cLo, _ := t.DepthRange(d + 1)
+		par.For(workers, lo, hi, 2048, func(a, b int) {
+			for i := a; i < b; i++ {
+				cs := cLo + (i-lo)*fan
+				var sum float64
+				for j := 0; j < fan; j++ {
+					sum += z[cs+j]
+				}
+				z[i] = sum
 			}
-			z[i] = sum
-		}
+		})
 	}
 
 	// Phase III (top-down): with F_v = Σ_{w ∈ anc(v)\{v}} β_w·ε²_{h(w)},
@@ -100,12 +121,15 @@ func Estimate(t *tree.Tree, epsByLevel []float64) error {
 	nodes[0].Est = z[0] / E[h]
 	for d := 1; d <= h; d++ {
 		lo, hi := t.DepthRange(d)
+		pLo, _ := t.DepthRange(d - 1)
 		level := h - d
-		for i := lo; i < hi; i++ {
-			p := t.Parent(i)
-			F[i] = F[p] + nodes[p].Est*eps2[level+1]
-			nodes[i].Est = (z[i] - powF[level]*F[i]) / E[level]
-		}
+		par.For(workers, lo, hi, 2048, func(a, b int) {
+			for i := a; i < b; i++ {
+				p := pLo + (i-lo)/fan
+				F[i] = F[p] + nodes[p].Est*eps2[level+1]
+				nodes[i].Est = (z[i] - powF[level]*F[i]) / E[level]
+			}
+		})
 	}
 	return nil
 }
@@ -122,13 +146,20 @@ func publishedNoisy(n *tree.Node) float64 {
 // configuration (quad-baseline, quad-geo) and the state Estimate expects to
 // improve on.
 func CopyNoisyToEst(t *tree.Tree) {
-	for i := range t.Nodes {
-		if t.Nodes[i].Published {
-			t.Nodes[i].Est = t.Nodes[i].Noisy
-		} else {
-			t.Nodes[i].Est = 0
+	CopyNoisyToEstWorkers(t, 0)
+}
+
+// CopyNoisyToEstWorkers is CopyNoisyToEst over a bounded worker pool.
+func CopyNoisyToEstWorkers(t *tree.Tree, workers int) {
+	par.For(par.Workers(workers), 0, len(t.Nodes), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if t.Nodes[i].Published {
+				t.Nodes[i].Est = t.Nodes[i].Noisy
+			} else {
+				t.Nodes[i].Est = 0
+			}
 		}
-	}
+	})
 }
 
 // RootVariance returns the variance of the OLS estimate of the root count

@@ -1,0 +1,58 @@
+package ols
+
+import (
+	"testing"
+
+	"psd/internal/rng"
+	"psd/internal/tree"
+)
+
+// The chunked parallel sweeps must be bit-identical to the sequential
+// three-phase algorithm: same nodes, same arithmetic, only the schedule
+// differs.
+func TestEstimateWorkersBitIdentical(t *testing.T) {
+	const h = 6
+	build := func() *tree.Tree {
+		tr, err := tree.NewComplete(4, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(17)
+		for i := range tr.Nodes {
+			tr.Nodes[i].Noisy = src.Laplace(3) + float64(i%7)
+			tr.Nodes[i].Published = i%5 != 0
+		}
+		return tr
+	}
+	eps := make([]float64, h+1)
+	for i := range eps {
+		eps[i] = 0.1 * float64(i+1)
+	}
+
+	ref := build()
+	if err := EstimateWorkers(ref, eps, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got := build()
+		if err := EstimateWorkers(got, eps, workers); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Nodes {
+			if got.Nodes[i].Est != ref.Nodes[i].Est {
+				t.Fatalf("workers=%d node %d: Est %v != %v",
+					workers, i, got.Nodes[i].Est, ref.Nodes[i].Est)
+			}
+		}
+	}
+
+	seq := build()
+	CopyNoisyToEstWorkers(seq, 1)
+	parr := build()
+	CopyNoisyToEstWorkers(parr, 8)
+	for i := range seq.Nodes {
+		if seq.Nodes[i].Est != parr.Nodes[i].Est {
+			t.Fatalf("CopyNoisyToEst workers mismatch at node %d", i)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package par provides the small data-parallel helpers the build and query
+// pipelines share. Everything here is deterministic-by-construction: the
+// helpers only decide *where* work runs, never what it computes, so a loop
+// body whose iterations are independent produces bit-identical results at
+// any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism degree: values > 0 are taken as
+// given, anything else means "use every available core" (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn over contiguous chunks covering [lo, hi), spread across at
+// most workers goroutines. Ranges shorter than grain (or workers <= 1) run
+// inline on the caller's goroutine — the fast path for small levels and
+// sequential builds. fn must treat its chunk independently of the others.
+func For(workers, lo, hi, grain int, fn func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if workers <= 1 || n <= grain {
+		fn(lo, hi)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < grain {
+		chunk = grain
+	}
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += chunk {
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(start, end)
+	}
+	wg.Wait()
+}

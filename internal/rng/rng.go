@@ -1,8 +1,21 @@
 // Package rng is the randomness substrate for the library's differential
-// privacy mechanisms. It wraps math/rand with the distributions the paper
-// needs — Laplace, exponential, two-sided geometric, Bernoulli — behind a
-// small Source type that is explicitly seeded so every experiment is
-// reproducible.
+// privacy mechanisms. It provides the distributions the paper needs —
+// Laplace, exponential, two-sided geometric, Bernoulli — behind a small
+// Source type that is explicitly seeded so every experiment is reproducible.
+//
+// Source is a counter-based splitmix64 generator (a Weyl sequence pushed
+// through an avalanching mixer, as in Java's SplittableRandom). Two design
+// points matter for this library:
+//
+//   - State is two machine words and seeding is a handful of multiplies, so
+//     a fresh stream per tree node costs nothing. At(seed, stream, salt)
+//     derives the stream deterministically from its coordinates alone,
+//     which is what makes parallel tree builds byte-identical to sequential
+//     ones: node randomness depends on the node's index, never on the order
+//     goroutines reach it.
+//   - Every distribution is implemented directly on the raw generator
+//     (inverse CDF or rejection), with no hidden shared state, so a Source
+//     value can live on the stack of a worker goroutine.
 //
 // Nothing in this package is cryptographically secure; for an actual privacy
 // deployment the uniform source should be replaced with crypto/rand. The
@@ -12,40 +25,104 @@ package rng
 
 import (
 	"math"
-	"math/rand"
+	"math/bits"
 )
 
 // Source produces random variates for the DP mechanisms. It is not safe for
-// concurrent use; create one Source per goroutine (see Split).
+// concurrent use; create one Source per goroutine (see Split and At).
 type Source struct {
-	r *rand.Rand
+	state uint64
+	gamma uint64 // odd Weyl increment; distinct gammas give distinct streams
+}
+
+// goldenGamma is 2^64/φ rounded to odd, the canonical splitmix64 increment.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 output function (Stafford variant 13).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mixGamma turns an arbitrary word into a usable Weyl increment: odd, and
+// rejected toward better bit mixing when its bit transitions are too regular
+// (the SplittableRandom heuristic).
+func mixGamma(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	z = (z ^ (z >> 33)) | 1
+	if bits.OnesCount64(z^(z>>1)) < 24 {
+		z ^= 0xaaaaaaaaaaaaaaaa
+	}
+	return z
 }
 
 // New returns a Source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	s := At(seed, 0, 0)
+	return &s
+}
+
+// At returns the Source for stream (stream, salt) of the given base seed,
+// as a value so hot paths can derive per-node streams without allocation.
+// The derivation is pure: any call order, any goroutine, same stream.
+// Conventionally stream indexes the consumer (a tree node) and salt the
+// purpose (median vs count noise), so independent subsystems sharing one
+// user-facing seed never collide.
+func At(seed int64, stream, salt uint64) Source {
+	h := mix64(uint64(seed) + goldenGamma)
+	h = mix64(h + stream + 0x3c6ef372fe94f82b) // distinct odd round constants
+	h = mix64(h + salt + 0xdaa66d2c7ddf743f)   // keep the three inputs separated
+	return Source{state: h, gamma: mixGamma(h + goldenGamma)}
 }
 
 // Split derives a new, independent Source from s. Each call advances s, so
 // repeated splits yield distinct streams. Use it to hand child components
 // their own deterministic randomness.
 func (s *Source) Split() *Source {
-	return New(s.r.Int63())
+	c := Source{state: mix64(s.Uint64()), gamma: mixGamma(s.Uint64())}
+	return &c
+}
+
+// Uint64 returns a uniform 64-bit word, advancing the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += s.gamma
+	return mix64(s.state)
 }
 
 // Uniform returns a uniform variate in [0, 1).
-func (s *Source) Uniform() float64 { return s.r.Float64() }
+func (s *Source) Uniform() float64 { return s.Float64() }
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * 0x1p-53
+}
 
 // UniformIn returns a uniform variate in [lo, hi).
 func (s *Source) UniformIn(lo, hi float64) float64 {
-	return lo + s.r.Float64()*(hi-lo)
+	return lo + s.Float64()*(hi-lo)
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
-func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+// (Lemire's multiply-shift rejection keeps it bias-free.)
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
 
 // Int63 returns a uniform non-negative 63-bit integer.
-func (s *Source) Int63() int64 { return s.r.Int63() }
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // Bernoulli returns true with probability p (clamped to [0, 1]).
 func (s *Source) Bernoulli(p float64) bool {
@@ -55,7 +132,7 @@ func (s *Source) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.r.Float64() < p
+	return s.Float64() < p
 }
 
 // Laplace returns a variate from the Laplace distribution with mean 0 and
@@ -71,7 +148,7 @@ func (s *Source) Laplace(b float64) float64 {
 		panic("rng: negative Laplace scale")
 	}
 	// Inverse CDF on u ∈ (-1/2, 1/2): x = -b·sgn(u)·ln(1-2|u|).
-	u := s.r.Float64() - 0.5
+	u := s.Float64() - 0.5
 	if u < 0 {
 		return b * math.Log(1+2*u)
 	}
@@ -84,12 +161,18 @@ func (s *Source) Exponential(lambda float64) float64 {
 	if lambda <= 0 {
 		panic("rng: non-positive exponential rate")
 	}
-	return s.r.ExpFloat64() / lambda
+	// Inverse CDF; Float64 < 1 keeps the log argument strictly positive.
+	return -math.Log(1-s.Float64()) / lambda
 }
 
-// Gaussian returns a variate from N(mean, stddev²).
+// Gaussian returns a variate from N(mean, stddev²) via Box–Muller. The
+// second variate of the pair is discarded so a Source carries no state
+// beyond its generator words.
 func (s *Source) Gaussian(mean, stddev float64) float64 {
-	return mean + stddev*s.r.NormFloat64()
+	u1 := 1 - s.Float64() // (0, 1]: keeps the log finite
+	u2 := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	return mean + stddev*r*math.Cos(2*math.Pi*u2)
 }
 
 // TwoSidedGeometric returns a variate from the two-sided geometric
@@ -106,46 +189,55 @@ func (s *Source) TwoSidedGeometric(alpha float64) int64 {
 	}
 	// Sample magnitude |X| and a sign; |X| = 0 with prob (1-alpha)/(1+alpha),
 	// otherwise |X| ~ Geometric(1-alpha) over {1, 2, ...} split evenly by sign.
-	u := s.r.Float64()
+	u := s.Float64()
 	p0 := (1 - alpha) / (1 + alpha)
 	if u < p0 {
 		return 0
 	}
 	// Remaining mass is split evenly between the positive and negative tails,
 	// each tail k = 1, 2, ... carrying weight p0·alpha^k.
-	mag := int64(1) + int64(math.Floor(s.r.ExpFloat64()/(-math.Log(alpha))))
-	if s.r.Float64() < 0.5 {
+	mag := int64(1) + int64(math.Floor(s.Exponential(1)/(-math.Log(alpha))))
+	if s.Float64() < 0.5 {
 		return -mag
 	}
 	return mag
 }
 
-// Shuffle randomly permutes the first n elements using swap, in the manner
-// of rand.Shuffle.
+// Shuffle randomly permutes the first n elements using swap (Fisher–Yates).
 func (s *Source) Shuffle(n int, swap func(i, j int)) {
-	s.r.Shuffle(n, swap)
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
 }
 
 // SampleBernoulli returns the indices of a Bernoulli(p) subsample of
 // {0, ..., n-1}. It is the sampling primitive behind Theorem 7 of the paper
 // (privacy amplification by sampling).
 func (s *Source) SampleBernoulli(n int, p float64) []int {
-	if p >= 1 {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
-	}
 	var idx []int
-	if p <= 0 {
-		return idx
+	if p > 0 && p < 1 {
+		idx = make([]int, 0, int(float64(n)*p*1.2)+8)
 	}
-	idx = make([]int, 0, int(float64(n)*p*1.2)+8)
+	return s.SampleBernoulliInto(idx, n, p)
+}
+
+// SampleBernoulliInto is SampleBernoulli appending into dst[:0], so hot
+// paths can reuse one index buffer across calls.
+func (s *Source) SampleBernoulliInto(dst []int, n int, p float64) []int {
+	dst = dst[:0]
+	if p <= 0 {
+		return dst
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			dst = append(dst, i)
+		}
+		return dst
+	}
 	for i := 0; i < n; i++ {
-		if s.r.Float64() < p {
-			idx = append(idx, i)
+		if s.Float64() < p {
+			dst = append(dst, i)
 		}
 	}
-	return idx
+	return dst
 }

@@ -94,7 +94,14 @@ const (
 	KDNoisyMeanTree
 )
 
-func (k Kind) String() string { return k.toCore().String() }
+// String returns the family name, or "unknown" for out-of-range values
+// (which would otherwise leak through as a bogus core kind).
+func (k Kind) String() string {
+	if k < QuadtreeKind || k > KDNoisyMeanTree {
+		return "unknown"
+	}
+	return k.toCore().String()
+}
 
 func (k Kind) toCore() core.Kind {
 	switch k {
@@ -215,6 +222,13 @@ type Options struct {
 	// the DP guarantee against observers who don't know the seed, but a
 	// production release should use a fresh unpredictable seed.
 	Seed int64
+
+	// Parallelism bounds the worker goroutines Build uses (structure,
+	// noisy-count release, post-processing and pruning all fan out). Zero
+	// uses one worker per available core; 1 forces a sequential build. All
+	// randomness is drawn from per-node streams, so for a fixed Seed the
+	// released tree is byte-identical at every parallelism level.
+	Parallelism int
 }
 
 // Tree is a built private spatial decomposition. The private release
@@ -256,6 +270,7 @@ func Build(points []Point, domain Rect, opts Options) (*Tree, error) {
 		PruneThreshold: opts.PruneThreshold,
 		Seed:           opts.Seed,
 		HilbertOrder:   opts.HilbertOrder,
+		Parallelism:    opts.Parallelism,
 	}
 	switch opts.Median {
 	case ExponentialMedian:
@@ -284,6 +299,13 @@ func Build(points []Point, domain Rect, opts Options) (*Tree, error) {
 // calls are deterministic (the noise was fixed at build time — queries are
 // post-processing and consume no budget).
 func (t *Tree) Count(q Rect) float64 { return t.inner.Query(q) }
+
+// CountAll answers a batch of range queries with a worker pool (one worker
+// per available core), returning answers in input order. Each answer is
+// exactly what Count would return for that rectangle; batching only
+// amortizes traversal state and spreads independent queries across cores,
+// which is the right shape for serving many queries against one release.
+func (t *Tree) CountAll(qs []Rect) []float64 { return t.inner.CountAll(qs) }
 
 // Regions returns the effective leaf regions of the release and their
 // estimated counts — a flat histogram view of the decomposition.
