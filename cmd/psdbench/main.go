@@ -21,7 +21,11 @@
 //	bench   build/query hot-path microbenchmarks, written as JSON
 //	        (-benchout, default BENCH_build.json) so the performance
 //	        trajectory is machine-readable across commits
-//	all     everything above (except bench)
+//	serve-bench
+//	        HTTP serving load generator: queries/sec and cache hit rate
+//	        through the psdserve handler stack, written as JSON
+//	        (-serveout, default BENCH_serve.json)
+//	all     everything above (except bench and serve-bench)
 //
 // Flags:
 //
@@ -50,8 +54,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "override experiment seed (0 keeps default)")
 	benchOut := flag.String("benchout", "BENCH_build.json",
 		"output path for the bench experiment's JSON report")
+	serveOut := flag.String("serveout", "BENCH_serve.json",
+		"output path for the serve-bench experiment's JSON report")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|bench|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|bench|serve-bench|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,13 +75,13 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	if err := run(which, scale, *paper, *benchOut); err != nil {
+	if err := run(which, scale, *paper, *benchOut, *serveOut); err != nil {
 		fmt.Fprintln(os.Stderr, "psdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, scale eval.Scale, paper bool, benchOut string) error {
+func run(which string, scale eval.Scale, paper bool, benchOut, serveOut string) error {
 	needEnv := which != "fig2" && which != "fig4" && which != "fig7b"
 	var env *eval.Env
 	if needEnv || which == "all" {
@@ -177,6 +183,9 @@ func run(which string, scale eval.Scale, paper bool, benchOut string) error {
 		},
 		"bench": func() error {
 			return runBenchJSON(env, scale, benchOut)
+		},
+		"serve-bench": func() error {
+			return runServeBench(env, scale, serveOut)
 		},
 		"ablate": func() error {
 			shapes := []workload.QueryShape{{W: 1, H: 1}, {W: 10, H: 10}}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psd"
+	"psd/internal/eval"
+	"psd/internal/serve"
+	"psd/internal/workload"
+)
+
+// serveReport is the machine-readable serving-performance snapshot
+// `psdbench serve-bench` writes (BENCH_serve.json by default): end-to-end
+// HTTP queries/sec through cmd/psdserve's handler stack, with and without
+// cache locality, so the serving hot path's trajectory is tracked across
+// commits alongside the build/query numbers in BENCH_build.json.
+type serveReport struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	Scale     string `json:"scale"`
+	// Release describes the served artifact.
+	ReleaseKind   string `json:"release_kind"`
+	ReleaseHeight int    `json:"release_height"`
+	ReleaseBytes  int    `json:"release_bytes"`
+	UnixTime      int64  `json:"unix_time"`
+	Rows          []serveRow `json:"rows"`
+}
+
+// serveRow is one load-generation configuration.
+type serveRow struct {
+	// Name is "<mode>/clients=<c>" ("single" = one rect per request,
+	// "batch<n>" = n rects per request).
+	Name string `json:"name"`
+	// Clients is the number of concurrent HTTP clients.
+	Clients int `json:"clients"`
+	// Requests and Queries are the totals issued (queries = rects answered).
+	Requests int `json:"requests"`
+	Queries  int `json:"queries"`
+	// DistinctRects is the query-pool size; repetition beyond it is what the
+	// cache can exploit.
+	DistinctRects int `json:"distinct_rects"`
+	// Seconds is the wall time of the run.
+	Seconds float64 `json:"seconds"`
+	// QueriesPerSec is the end-to-end throughput (rects answered / wall s).
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// CacheHitRate is the server-reported hit rate for this run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// MeanLatencyNs is the server-side mean request latency.
+	MeanLatencyNs int64 `json:"mean_latency_ns"`
+}
+
+// runServeBench builds a release at the eval scale, serves it through the
+// real handler stack on a loopback listener, and measures throughput under
+// concurrent single-query and batch loads. Each mode runs twice against a
+// fresh registry: a cold pass sized so most queries miss, and a hot pass
+// re-playing the same pool so the cache dominates.
+func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
+	tree, err := psd.Build(env.Data.Points, env.Data.Domain, psd.Options{
+		Kind: psd.QuadtreeKind, Height: 10, Epsilon: 0.5, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	var artifact bytes.Buffer
+	if err := tree.WriteRelease(&artifact); err != nil {
+		return err
+	}
+
+	// Query pool: the eval workload's shapes, cycled. Load runs issue more
+	// requests than the pool holds, so repetition (and thus cache locality)
+	// is realistic rather than total.
+	var pool [][4]float64
+	for _, shape := range []workload.QueryShape{{W: 1, H: 1}, {W: 10, H: 10}, {W: 15, H: 0.2}} {
+		qs, err := env.Queries(shape)
+		if err != nil {
+			return err
+		}
+		for _, r := range qs.Rects {
+			pool = append(pool, [4]float64{r.Lo.X, r.Lo.Y, r.Hi.X, r.Hi.Y})
+		}
+	}
+
+	report := serveReport{
+		Schema:        1,
+		GoVersion:     runtime.Version(),
+		CPUs:          runtime.GOMAXPROCS(0),
+		Scale:         scale.Name,
+		ReleaseKind:   tree.Kind(),
+		ReleaseHeight: tree.Height(),
+		ReleaseBytes:  artifact.Len(),
+		UnixTime:      time.Now().Unix(),
+	}
+	clients := runtime.GOMAXPROCS(0)
+
+	modes := []struct {
+		name      string
+		batchSize int // 0 = single-query endpoint
+		requests  int
+	}{
+		{"single-cold", 0, len(pool)},
+		{"single-hot", 0, 4 * len(pool)},
+		{"batch64-cold", 64, (len(pool) + 63) / 64},
+		{"batch64-hot", 64, 4 * ((len(pool) + 63) / 64)},
+	}
+	for _, m := range modes {
+		reg := serve.NewRegistry(1 << 16)
+		if _, err := reg.Register("bench", "bench", bytes.NewReader(artifact.Bytes())); err != nil {
+			return err
+		}
+		api := &serve.API{Registry: reg}
+		srv := httptest.NewServer(api.Handler())
+
+		if isHot(m.name) {
+			// Warm pass: prime the cache with the whole pool.
+			if err := replay(srv.URL, pool, m.batchSize, 1, (len(pool)+max(m.batchSize, 1)-1)/max(m.batchSize, 1)); err != nil {
+				srv.Close()
+				return err
+			}
+		}
+		rel, _ := reg.Get("bench")
+		before := rel.Stats()
+		start := time.Now()
+		if err := replay(srv.URL, pool, m.batchSize, clients, m.requests); err != nil {
+			srv.Close()
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+
+		// Report the measured pass only: the server's counters are
+		// cumulative and would otherwise dilute the hot rows with the
+		// all-miss warm pass.
+		after := rel.Stats()
+		dQueries := after.Queries - before.Queries
+		dHits := after.CacheHits - before.CacheHits
+		dRequests := after.Requests - before.Requests
+		var hitRate float64
+		if dQueries > 0 {
+			hitRate = float64(dHits) / float64(dQueries)
+		}
+		var meanNs int64
+		if dRequests > 0 {
+			totalBefore := before.MeanLatencyNs * int64(before.Requests)
+			totalAfter := after.MeanLatencyNs * int64(after.Requests)
+			meanNs = (totalAfter - totalBefore) / int64(dRequests)
+		}
+		queries := m.requests * max(m.batchSize, 1)
+		row := serveRow{
+			Name:          fmt.Sprintf("%s/clients=%d", m.name, clients),
+			Clients:       clients,
+			Requests:      m.requests,
+			Queries:       queries,
+			DistinctRects: len(pool),
+			Seconds:       elapsed,
+			QueriesPerSec: float64(queries) / elapsed,
+			CacheHitRate:  hitRate,
+			MeanLatencyNs: meanNs,
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("serve/%-24s %9d queries %8.2fs %12.0f queries/sec  hit-rate %.2f\n",
+			row.Name, row.Queries, row.Seconds, row.QueriesPerSec, row.CacheHitRate)
+		srv.Close()
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s (%d rows)\n", outPath, len(report.Rows))
+	return nil
+}
+
+func isHot(name string) bool { return len(name) > 4 && name[len(name)-4:] == "-hot" }
+
+// replay issues n requests against the server from the given number of
+// concurrent clients, cycling through the query pool. batchSize 0 uses the
+// single-query endpoint; otherwise each request carries batchSize rects.
+func replay(baseURL string, pool [][4]float64, batchSize, clients, n int) error {
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				var err error
+				if batchSize == 0 {
+					r := pool[i%len(pool)]
+					url := fmt.Sprintf("%s/v1/releases/bench/count?rect=%g,%g,%g,%g",
+						baseURL, r[0], r[1], r[2], r[3])
+					err = drainGet(client, url)
+				} else {
+					rects := make([][4]float64, batchSize)
+					for j := range rects {
+						rects[j] = pool[(i*batchSize+j)%len(pool)]
+					}
+					var body []byte
+					body, err = json.Marshal(map[string]any{"rects": rects})
+					if err == nil {
+						err = drainPost(client, baseURL+"/v1/releases/bench/batch", body)
+					}
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+func drainGet(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out struct {
+		Count float64 `json:"count"`
+	}
+	return json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func drainPost(c *http.Client, url string, body []byte) error {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	var out struct {
+		Counts []float64 `json:"counts"`
+	}
+	return json.NewDecoder(resp.Body).Decode(&out)
+}

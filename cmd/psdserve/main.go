@@ -1,0 +1,128 @@
+// Command psdserve serves range-count queries over published PSD releases.
+//
+// A release is the ε-differentially private artifact a curator builds once
+// (psd.Tree.WriteRelease); answering queries against it is free
+// post-processing, so one server can handle unlimited traffic with no
+// further privacy spend. psdserve loads one or more releases into a named
+// registry and answers single and batch queries over HTTP, caching repeated
+// answers in a bounded sharded LRU.
+//
+// Usage:
+//
+//	psdserve -addr :8080 -release roads=roads.json -release salaries=sal.json
+//	psdserve -addr :8080 -dir /var/releases   # serve every *.json in dir
+//
+// Endpoints:
+//
+//	GET    /healthz                      liveness
+//	GET    /v1/releases                  list releases
+//	POST   /v1/releases/{name}           register/replace a release (hot reload)
+//	DELETE /v1/releases/{name}           unregister
+//	GET    /v1/releases/{name}/count     ?rect=lox,loy,hix,hiy
+//	POST   /v1/releases/{name}/batch     {"rects":[[lox,loy,hix,hiy],...]}
+//	GET    /v1/releases/{name}/regions   effective leaf regions
+//	GET    /v1/releases/{name}/stats     query counts, cache hit rate, latency
+//	POST   /v1/reload                    rescan -dir (changed files only)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests finish (up to -shutdown-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"psd/internal/serve"
+)
+
+// nameEqPath accumulates repeated -release name=path flags.
+type nameEqPath []struct{ name, path string }
+
+func (v *nameEqPath) String() string { return fmt.Sprint(*v) }
+
+func (v *nameEqPath) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	*v = append(*v, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "watch directory: serve every *.json in it, rescanned by POST /v1/reload")
+	cacheSize := flag.Int("cache", 1<<16, "per-release answer cache capacity (0 disables)")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rectangles per batch request")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	var releases nameEqPath
+	flag.Var(&releases, "release", "release to serve as name=path (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "psdserve: ", log.LstdFlags)
+	reg := serve.NewRegistry(*cacheSize)
+	for _, r := range releases {
+		rel, err := reg.LoadFile(r.name, r.path)
+		if err != nil {
+			logger.Fatalf("loading %s: %v", r.path, err)
+		}
+		logger.Printf("serving %q: %s h=%d eps=%g, %d regions (%d bytes)",
+			rel.Name, rel.Tree.Kind(), rel.Tree.Height(), rel.Tree.PrivacyCost(),
+			rel.NumRegions, rel.Bytes)
+	}
+	if *dir != "" {
+		loaded, _, err := reg.ScanDir(*dir)
+		if err != nil {
+			logger.Fatalf("scanning %s: %v", *dir, err)
+		}
+		logger.Printf("loaded %d release(s) from %s: %v", len(loaded), *dir, loaded)
+	}
+	if reg.Len() == 0 && *dir == "" {
+		logger.Fatal("nothing to serve: pass -release name=path or -dir (releases can also be POSTed at runtime)")
+	}
+
+	api := &serve.API{
+		Registry:     reg,
+		WatchDir:     *dir,
+		MaxBodyBytes: *maxBody,
+		MaxBatch:     *maxBatch,
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d releases)", *addr, reg.Len())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down (grace %s)", *shutdownTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("shutdown: %v", err)
+	}
+	logger.Print("bye")
+}

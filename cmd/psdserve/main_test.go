@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestEndToEnd exercises the real binary: build it, start it against the
+// golden quadtree release, answer the golden query set over HTTP (single
+// and batch paths must agree with the recorded answers exactly), then send
+// SIGTERM and require a clean graceful exit.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "psdserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Dir = filepath.Join(repoRoot, "cmd", "psdserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve a port; the tiny window between Close and the server's bind is
+	// an acceptable flake risk for a local loopback listener.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	fixture := filepath.Join(repoRoot, "testdata", "release_quadtree.json")
+	cmd := exec.Command(bin, "-addr", addr, "-release", "quadtree="+fixture)
+	var logs bytes.Buffer
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatalf("server never became healthy; logs:\n%s", logs.String())
+	}
+
+	var golden struct {
+		Release string `json:"release"`
+		Queries []struct {
+			Rect  [4]float64 `json:"rect"`
+			Count float64    `json:"count"`
+		} `json:"queries"`
+	}
+	data, err := os.ReadFile(filepath.Join(repoRoot, "testdata", "golden_queries.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-query path.
+	for _, q := range golden.Queries {
+		url := fmt.Sprintf("%s/v1/releases/%s/count?rect=%g,%g,%g,%g",
+			base, golden.Release, q.Rect[0], q.Rect[1], q.Rect[2], q.Rect[3])
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Count float64 `json:"count"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || out.Count != q.Count {
+			t.Fatalf("query %v: status %d count %v, want %v",
+				q.Rect, resp.StatusCode, out.Count, q.Count)
+		}
+	}
+
+	// Batch path returns the same answers in order.
+	rects := make([][4]float64, len(golden.Queries))
+	for i, q := range golden.Queries {
+		rects[i] = q.Rect
+	}
+	body, _ := json.Marshal(map[string]any{"rects": rects})
+	resp, err := http.Post(base+"/v1/releases/"+golden.Release+"/batch",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch struct {
+		Counts    []float64 `json:"counts"`
+		CacheHits int       `json:"cache_hits"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&batch)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Counts) != len(golden.Queries) {
+		t.Fatalf("batch returned %d counts", len(batch.Counts))
+	}
+	for i, q := range golden.Queries {
+		if batch.Counts[i] != q.Count {
+			t.Fatalf("batch[%d] = %v, want %v", i, batch.Counts[i], q.Count)
+		}
+	}
+	// Every rect was answered (and cached) by the single-query pass.
+	if batch.CacheHits != len(golden.Queries) {
+		t.Errorf("batch cache hits = %d, want %d", batch.CacheHits, len(golden.Queries))
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGTERM: %v; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not shut down; logs:\n%s", logs.String())
+	}
+}

@@ -1,0 +1,162 @@
+package psd
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden release fixtures: one serialized release per Kind at a fixed seed,
+// checked byte-for-byte. They pin the on-disk artifact format — a release
+// written by an old commit must keep opening (and answering) identically —
+// and give cmd/psdserve and CI a stable artifact to serve end-to-end.
+// Regenerate with:
+//
+//	go test . -run TestGoldenReleases -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden release fixtures under testdata/")
+
+// goldenKinds lists every decomposition family with its fixture file name.
+var goldenKinds = []struct {
+	kind Kind
+	name string
+}{
+	{QuadtreeKind, "quadtree"},
+	{KDTree, "kd"},
+	{KDHybrid, "kd-hybrid"},
+	{HilbertRTree, "hilbert-r"},
+	{KDCellTree, "kd-cell"},
+	{KDNoisyMeanTree, "kd-noisymean"},
+}
+
+// goldenDomain and goldenSeed fix the fixture build inputs.
+var goldenDomain = NewRect(0, 0, 100, 100)
+
+const goldenSeed = 4242
+
+func goldenBuild(t *testing.T, kind Kind) *Tree {
+	t.Helper()
+	pts := clusteredPoints(5000, goldenDomain, 99)
+	tree, err := Build(pts, goldenDomain, Options{
+		Kind: kind, Height: 3, Epsilon: 1, Seed: goldenSeed,
+	})
+	if err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+	return tree
+}
+
+// goldenQueries is the fixed query set every fixture must answer
+// identically through a reopened release.
+func goldenQueries() []Rect {
+	return []Rect{
+		goldenDomain,
+		NewRect(0, 0, 50, 50),
+		NewRect(25, 25, 75, 75),
+		NewRect(10, 60, 90, 95),
+		NewRect(47, 47, 53, 53),
+		NewRect(0, 0, 12.5, 100),
+	}
+}
+
+func TestGoldenReleases(t *testing.T) {
+	for _, g := range goldenKinds {
+		t.Run(g.name, func(t *testing.T) {
+			tree := goldenBuild(t, g.kind)
+			var buf bytes.Buffer
+			if err := tree.WriteRelease(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "release_"+g.name+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("serialized release differs from %s (%d vs %d bytes); "+
+					"if the format change is intentional, regenerate with -update",
+					path, buf.Len(), len(golden))
+			}
+
+			// The reopened fixture answers the fixed query set exactly as the
+			// builder's tree does, and re-serializes byte-identically.
+			reopened, err := OpenRelease(bytes.NewReader(golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range goldenQueries() {
+				if a, b := tree.Count(q), reopened.Count(q); a != b {
+					t.Errorf("query %v: built %v, reopened %v", q, a, b)
+				}
+			}
+			var again bytes.Buffer
+			if err := reopened.WriteRelease(&again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again.Bytes(), golden) {
+				t.Error("reopened release does not re-serialize identically")
+			}
+		})
+	}
+}
+
+// goldenQueryFile is the schema of testdata/golden_queries.json: the
+// quadtree fixture's fixed queries with their expected answers, consumed by
+// the cmd/psdserve end-to-end test and the CI curl check.
+type goldenQueryFile struct {
+	Release string `json:"release"`
+	Queries []struct {
+		Rect  [4]float64 `json:"rect"`
+		Count float64    `json:"count"`
+	} `json:"queries"`
+}
+
+func TestGoldenQueryAnswers(t *testing.T) {
+	path := filepath.Join("testdata", "golden_queries.json")
+	tree := goldenBuild(t, QuadtreeKind)
+	if *updateGolden {
+		var out goldenQueryFile
+		out.Release = "quadtree"
+		for _, q := range goldenQueries() {
+			out.Queries = append(out.Queries, struct {
+				Rect  [4]float64 `json:"rect"`
+				Count float64    `json:"count"`
+			}{
+				Rect:  [4]float64{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y},
+				Count: tree.Count(q),
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update): %v", err)
+	}
+	var in goldenQueryFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Release != "quadtree" || len(in.Queries) != len(goldenQueries()) {
+		t.Fatalf("unexpected fixture shape: %q, %d queries", in.Release, len(in.Queries))
+	}
+	for i, q := range in.Queries {
+		r := NewRect(q.Rect[0], q.Rect[1], q.Rect[2], q.Rect[3])
+		if got := tree.Count(r); got != q.Count {
+			t.Errorf("query %d %v: count %v, fixture %v", i, r, got, q.Count)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"psd/internal/geom"
+)
+
+// FuzzReadRelease feeds arbitrary (and mutated-valid) bytes through the
+// full untrusted-artifact path the server uses: parse, validate, open,
+// query. Whatever the input, the pipeline must never panic, and anything
+// that opens must answer with finite counts.
+func FuzzReadRelease(f *testing.F) {
+	dom := geom.NewRect(0, 0, 64, 64)
+	pts := randomPoints(512, dom, 31)
+	for _, cfg := range []Config{
+		{Kind: Quadtree, Height: 2, Epsilon: 1, Seed: 2, PostProcess: true},
+		{Kind: Hybrid, Height: 3, Epsilon: 0.5, Seed: 3, PostProcess: true, PruneThreshold: 8},
+		{Kind: HilbertR, Height: 2, Epsilon: 1, Seed: 4},
+	} {
+		p, err := Build(pts, dom, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := p.Release().WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		// A few systematic corruptions seed the interesting neighborhoods.
+		for _, mut := range [][]byte{
+			bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":2`), 1),
+			bytes.Replace(valid, []byte(`"height":`), []byte(`"height":9`), 1),
+			bytes.Replace(valid, []byte(`quadtree`), []byte(`mystery`), 1),
+			valid[:len(valid)/2],
+			bytes.ToUpper(valid),
+		} {
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"kind":"quadtree","fanout":4,"height":0,` +
+		`"domain":[0,0,1,1],"rects":[[0,0,1,1]],"counts":[null]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel, err := ReadRelease(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as we didn't panic
+		}
+		p, err := OpenRelease(rel)
+		if err != nil {
+			t.Fatalf("ReadRelease validated but OpenRelease failed: %v", err)
+		}
+		if c := p.Query(p.Domain()); math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("opened release answers non-finite domain count %v", c)
+		}
+		rects, counts := p.LeafRegions()
+		if len(rects) != len(counts) {
+			t.Fatalf("leaf regions: %d rects, %d counts", len(rects), len(counts))
+		}
+		for _, c := range counts {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("leaf region count %v not finite", c)
+			}
+		}
+	})
+}
+
+// fuzzTrees builds the fixed post-processed trees FuzzCount checks
+// against, once per process. Post-processing matters: the OLS estimates are
+// consistent (each parent equals the sum of its children), which is what
+// makes the leaf-sum and additivity identities below hold.
+var fuzzTrees = sync.OnceValue(func() []*PSD {
+	dom := geom.NewRect(0, 0, 64, 64)
+	pts := randomPoints(2048, dom, 33)
+	var out []*PSD
+	for _, cfg := range []Config{
+		{Kind: Quadtree, Height: 3, Epsilon: 1, Seed: 5, PostProcess: true},
+		{Kind: Hybrid, Height: 3, Epsilon: 0.5, Seed: 6, PostProcess: true, PruneThreshold: 16},
+	} {
+		p, err := Build(pts, dom, cfg)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+})
+
+// FuzzCount checks query-engine invariants on arbitrary rectangles: the
+// canonical range query over a consistent tree must (a) be finite, (b)
+// equal the leaf-region overlap sum, (c) answer the whole domain with the
+// root estimate, and (d) be additive across a disjoint split of the query.
+func FuzzCount(f *testing.F) {
+	f.Add(0.0, 0.0, 64.0, 64.0)
+	f.Add(10.0, 20.0, 30.0, 40.0)
+	f.Add(-10.0, -10.0, 100.0, 100.0)
+	f.Add(1.5, 1.5, 1.5, 60.0)
+	f.Add(63.9, 0.1, 64.0, 64.0)
+
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("query rects are validated finite before reaching the engine")
+			}
+		}
+		if c < a {
+			a, c = c, a
+		}
+		if d < b {
+			b, d = d, b
+		}
+		q := geom.Rect{Lo: geom.Point{X: a, Y: b}, Hi: geom.Point{X: c, Y: d}}
+		for _, p := range fuzzTrees() {
+			got := p.Query(q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Query(%v) = %v, not finite", q, got)
+			}
+			tol := 1e-6 * (1 + math.Abs(got))
+
+			// (b) Leaf-region decomposition: summing every effective leaf's
+			// estimate weighted by its overlap fraction is the flat-histogram
+			// answer; on a consistent tree the hierarchical walk must agree.
+			rects, counts := p.LeafRegions()
+			var flat float64
+			for i, r := range rects {
+				flat += counts[i] * r.OverlapFraction(q)
+			}
+			if math.Abs(flat-got) > tol {
+				t.Fatalf("Query(%v) = %v but leaf-region sum = %v", q, got, flat)
+			}
+
+			// (c) The whole domain is answered by the root estimate alone.
+			if root := p.Query(p.Domain()); math.Abs(root-p.Arena().Root().Est) > 1e-6*(1+math.Abs(root)) {
+				t.Fatalf("Query(domain) = %v, root estimate %v", root, p.Arena().Root().Est)
+			}
+
+			// (d) Splitting q at an interior x coordinate partitions it
+			// exactly (half-open boxes share no area), so the answers add.
+			if q.Width() > 0 {
+				mid := (q.Lo.X + q.Hi.X) / 2
+				left, right := q.SplitX(mid)
+				sum := p.Query(left) + p.Query(right)
+				if math.Abs(sum-got) > tol {
+					t.Fatalf("Query(%v) = %v but split sum = %v", q, got, sum)
+				}
+			}
+		}
+	})
+}

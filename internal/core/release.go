@@ -90,14 +90,102 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// ReadRelease parses a JSON release.
+// ReadRelease parses and validates a JSON release. The input is treated as
+// untrusted: a successfully parsed release is structurally sound (see
+// Validate), so callers may hand the result straight to OpenRelease.
 func ReadRelease(r io.Reader) (*Release, error) {
 	var rel Release
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&rel); err != nil {
 		return nil, fmt.Errorf("core: parsing release: %w", err)
 	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
 	return &rel, nil
+}
+
+// maxReleaseHeight bounds the tree height a release may declare. It matches
+// the build-side cap in Config.withDefaults; together with the fanout check
+// it keeps a malicious artifact from forcing a huge arena allocation before
+// the length checks run.
+const maxReleaseHeight = 13
+
+// Validate checks a release for structural soundness without allocating the
+// arena: version and kind are known, the fanout/height product is sane and
+// matches the rects/counts lengths, every rectangle is finite and ordered,
+// every published count is finite, epsilon is a finite non-negative budget,
+// the domain is a finite non-empty rectangle, and pruned indices are
+// in-range and distinct. OpenRelease validates automatically; ReadRelease
+// rejects artifacts that fail these checks at parse time.
+func (r *Release) Validate() error {
+	if r.Version != releaseVersion {
+		return fmt.Errorf("core: unsupported release version %d", r.Version)
+	}
+	if _, err := parseKind(r.Kind); err != nil {
+		return err
+	}
+	if r.Fanout != 4 {
+		return fmt.Errorf("core: unsupported fanout %d", r.Fanout)
+	}
+	if r.Height < 0 || r.Height > maxReleaseHeight {
+		return fmt.Errorf("core: release height %d outside [0,%d]", r.Height, maxReleaseHeight)
+	}
+	nodes := 0
+	for d, level := 0, 1; d <= r.Height; d, level = d+1, level*r.Fanout {
+		nodes += level
+		if nodes > tree.MaxNodes {
+			return fmt.Errorf("core: fanout %d height %d exceeds %d nodes", r.Fanout, r.Height, tree.MaxNodes)
+		}
+	}
+	if len(r.Rects) != nodes || len(r.Counts) != nodes {
+		return fmt.Errorf("core: release has %d rects / %d counts for a %d-node tree",
+			len(r.Rects), len(r.Counts), nodes)
+	}
+	if math.IsNaN(r.Epsilon) || math.IsInf(r.Epsilon, 0) || r.Epsilon < 0 {
+		return fmt.Errorf("core: invalid release epsilon %v", r.Epsilon)
+	}
+	if !finiteRect(r.Domain) {
+		return fmt.Errorf("core: release domain %v is not finite", r.Domain)
+	}
+	if d := unflattenRect(r.Domain); !d.Valid() || d.Empty() {
+		return fmt.Errorf("core: release domain %v is inverted or empty", r.Domain)
+	}
+	for i, fr := range r.Rects {
+		if !finiteRect(fr) {
+			return fmt.Errorf("core: release node %d has non-finite rect", i)
+		}
+		if !unflattenRect(fr).Valid() {
+			return fmt.Errorf("core: release node %d has inverted rect", i)
+		}
+	}
+	for i, c := range r.Counts {
+		if c != nil && (math.IsNaN(*c) || math.IsInf(*c, 0)) {
+			return fmt.Errorf("core: release node %d has non-finite count", i)
+		}
+	}
+	if len(r.Pruned) > 0 {
+		seen := make(map[int]bool, len(r.Pruned))
+		for _, i := range r.Pruned {
+			if i < 0 || i >= nodes {
+				return fmt.Errorf("core: pruned index %d out of range", i)
+			}
+			if seen[i] {
+				return fmt.Errorf("core: duplicate pruned index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+	return nil
+}
+
+func finiteRect(v [4]float64) bool {
+	for _, f := range v {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // OpenRelease reconstructs a query-only PSD from a release. The resulting
@@ -105,38 +193,25 @@ func ReadRelease(r io.Reader) (*Release, error) {
 // did; TrueAnswer is unavailable (the release carries no exact counts) and
 // returns NaN-free zeros.
 func OpenRelease(rel *Release) (*PSD, error) {
-	if rel.Version != releaseVersion {
-		return nil, fmt.Errorf("core: unsupported release version %d", rel.Version)
-	}
-	if rel.Fanout != 4 {
-		return nil, fmt.Errorf("core: unsupported fanout %d", rel.Fanout)
+	// Validate before NewComplete: the checks are allocation-free, so a
+	// malformed artifact (e.g. a huge declared height with a tiny rects
+	// array) is rejected before the arena is ever sized.
+	if err := rel.Validate(); err != nil {
+		return nil, err
 	}
 	ar, err := tree.NewComplete(rel.Fanout, rel.Height)
 	if err != nil {
 		return nil, err
 	}
-	if len(rel.Rects) != ar.Len() || len(rel.Counts) != ar.Len() {
-		return nil, fmt.Errorf("core: release has %d rects / %d counts for a %d-node tree",
-			len(rel.Rects), len(rel.Counts), ar.Len())
-	}
 	for i := range ar.Nodes {
 		ar.Nodes[i].Rect = unflattenRect(rel.Rects[i])
-		if !ar.Nodes[i].Rect.Valid() {
-			return nil, fmt.Errorf("core: release node %d has invalid rect", i)
-		}
 		if c := rel.Counts[i]; c != nil {
-			if math.IsNaN(*c) || math.IsInf(*c, 0) {
-				return nil, fmt.Errorf("core: release node %d has non-finite count", i)
-			}
 			ar.Nodes[i].Est = *c
 			ar.Nodes[i].Published = true
 		}
 	}
 	effLeaves := ar.NumLeaves()
 	for _, i := range rel.Pruned {
-		if i < 0 || i >= ar.Len() {
-			return nil, fmt.Errorf("core: pruned index %d out of range", i)
-		}
 		ar.Nodes[i].Pruned = true
 		// Each pruned depth-d root collapses its 4^(h-d) leaves into one
 		// region; track the loss so LeafRegions can pre-size exactly.

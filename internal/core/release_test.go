@@ -173,8 +173,56 @@ func TestOpenReleaseValidation(t *testing.T) {
 	if _, err := OpenRelease(&bad); err == nil {
 		t.Error("inverted rect should error")
 	}
+	bad = *good
+	bad.Rects = append([][4]float64{}, good.Rects...)
+	bad.Rects[1] = [4]float64{0, 0, math.Inf(1), 1}
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("non-finite rect should error")
+	}
+	bad = *good
+	bad.Epsilon = math.Inf(1)
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("non-finite epsilon should error")
+	}
+	bad = *good
+	bad.Epsilon = -1
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("negative epsilon should error")
+	}
+	bad = *good
+	bad.Domain = [4]float64{0, 0, math.NaN(), 10}
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("non-finite domain should error")
+	}
+	bad = *good
+	bad.Domain = [4]float64{10, 10, 0, 0}
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("inverted domain should error")
+	}
+	bad = *good
+	bad.Pruned = []int{1, 1}
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("duplicate pruned index should error")
+	}
+	bad = *good
+	bad.Height = -1
+	if _, err := OpenRelease(&bad); err == nil {
+		t.Error("negative height should error")
+	}
 	if _, err := ReadRelease(strings.NewReader("{not json")); err == nil {
 		t.Error("bad JSON should error")
+	}
+	// A huge declared height with a tiny rects array must be rejected by the
+	// pre-allocation length check, not by attempting to size the arena.
+	if _, err := ReadRelease(strings.NewReader(
+		`{"version":1,"kind":"quadtree","epsilon":1,"fanout":4,"height":12,` +
+			`"domain":[0,0,1,1],"rects":[[0,0,1,1]],"counts":[1]}`)); err == nil {
+		t.Error("height/length mismatch should error")
+	}
+	if _, err := ReadRelease(strings.NewReader(
+		`{"version":1,"kind":"quadtree","epsilon":1,"fanout":4,"height":30,` +
+			`"domain":[0,0,1,1],"rects":[],"counts":[]}`)); err == nil {
+		t.Error("absurd height should error")
 	}
 }
 

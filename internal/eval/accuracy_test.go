@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"psd/internal/budget"
+	"psd/internal/core"
+	"psd/internal/workload"
+)
+
+// TestQuadOptAccuracyRegression pins the paper's headline behavior so it
+// cannot silently regress: quad-opt (geometric level budgets, Section 4.2,
+// plus OLS post-processing, Section 5) must stay within an absolute
+// accuracy bound AND strictly beat the prior-work baseline (uniform
+// budgets, no post-processing) on the same workload. Both sides are
+// averaged over many seeds so a single lucky or unlucky noise draw cannot
+// flip the verdict.
+//
+// The pinned numbers come from this harness at the time of writing: over 30
+// seeds, quad-opt's mean relative error sat at 8.45% with the baseline at
+// 26.10% — a 3.1x gap, matching the shape of Figure 3. Everything here is
+// seeded (dataset, queries, noise), so the measurement is reproducible; the
+// bound (15%) and the required improvement factor (1.5x) still leave room
+// for legitimate numeric churn while catching any real regression (dropping
+// either optimization blows straight past them).
+func TestQuadOptAccuracyRegression(t *testing.T) {
+	const (
+		seeds          = 30
+		meanErrBound   = 15.0 // percent
+		minImprovement = 1.5  // baseline/opt mean-error ratio
+	)
+
+	data := workload.RoadNetwork(workload.RoadNetworkConfig{N: 30_000, Seed: 20120403})
+	idx, err := workload.NewCountIndex(data.Points, data.Domain, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GenQueries only guarantees a non-zero exact answer; queries with a
+	// handful of true points make *relative* error explode under any finite
+	// noise (the paper reports medians for the same reason). Mean relative
+	// error is only a meaningful regression metric over queries with
+	// substantial support, so keep those with at least 100 true points.
+	var queries []workload.Queries
+	for _, shape := range []workload.QueryShape{{W: 5, H: 5}, {W: 10, H: 10}} {
+		qs, err := workload.GenQueries(idx, shape, 80, 20120403+int64(shape.W))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := workload.Queries{Shape: qs.Shape}
+		for i, ans := range qs.Answers {
+			if ans >= 100 {
+				kept.Rects = append(kept.Rects, qs.Rects[i])
+				kept.Answers = append(kept.Answers, ans)
+			}
+		}
+		if len(kept.Rects) < 20 {
+			t.Fatalf("only %d/%d %v queries have >=100 true points", len(kept.Rects), 80, shape)
+		}
+		queries = append(queries, kept)
+	}
+
+	meanErr := func(cfg core.Config) float64 {
+		var sum float64
+		var n int
+		p, err := core.Build(data.Points, data.Domain, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			for _, e := range RelativeErrors(p, &queries[i]) {
+				sum += e
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+
+	var optSum, baseSum float64
+	for seed := int64(1); seed <= seeds; seed++ {
+		optSum += meanErr(core.Config{
+			Kind: core.Quadtree, Height: 7, Epsilon: 0.5, Seed: seed,
+			Strategy: budget.Geometric{}, PostProcess: true,
+		})
+		baseSum += meanErr(core.Config{
+			Kind: core.Quadtree, Height: 7, Epsilon: 0.5, Seed: seed,
+			Strategy: budget.Uniform{}, PostProcess: false,
+		})
+	}
+	opt := optSum / seeds
+	base := baseSum / seeds
+	t.Logf("mean relative error over %d seeds: quad-opt %.2f%%, uniform-no-post %.2f%% (ratio %.2fx)",
+		seeds, opt, base, base/opt)
+
+	if math.IsNaN(opt) || opt > meanErrBound {
+		t.Errorf("quad-opt mean relative error %.2f%% exceeds pinned bound %.0f%% — "+
+			"the Section 4/5 optimizations have regressed", opt, meanErrBound)
+	}
+	if !(opt*minImprovement < base) {
+		t.Errorf("quad-opt (%.2f%%) does not beat uniform-no-postprocessing (%.2f%%) by %.1fx — "+
+			"geometric budgets and/or OLS post-processing stopped helping", opt, base, minImprovement)
+	}
+}

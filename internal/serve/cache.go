@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+)
+
+// queryKey identifies a range query for caching: the four rectangle bounds,
+// bit-for-bit. Queries against a fixed release are deterministic
+// post-processing of the published counts (Section 4.1 — no budget is spent
+// at query time), so caching answers is semantically free: a hit returns
+// exactly what recomputation would.
+type queryKey [4]float64
+
+// cacheShards is the fixed shard count of a Cache; a power of two so shard
+// selection is a mask. 16 shards keep lock contention negligible for the
+// worker counts this library targets while staying cheap for tiny caches.
+const cacheShards = 16
+
+// Cache is a bounded, sharded LRU map from query rectangles to answers.
+// Each shard holds its own lock, hash bucket map and recency list, so
+// concurrent readers on different shards never contend. A nil *Cache is
+// valid and always misses, which is how caching is disabled. Hit/miss
+// accounting lives in the per-release stats, not here, so the hot path
+// pays no extra atomics.
+type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[queryKey]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+}
+
+type cacheEntry struct {
+	key queryKey
+	val float64
+}
+
+// NewCache returns a cache holding at most capacity answers in total,
+// spread evenly over its shards. Capacity <= 0 returns nil (caching off).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			items: make(map[queryKey]*list.Element, perShard),
+			order: list.New(),
+			cap:   perShard,
+		}
+	}
+	return c
+}
+
+// shardOf hashes the key's bit patterns down to a shard index
+// (splitmix64-style finalizer; the inputs are not adversarial — worst case
+// a hot shard — so a fast non-cryptographic mix is fine).
+func shardOf(k queryKey) int {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, f := range k {
+		h ^= math.Float64bits(f)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	return int(h & (cacheShards - 1))
+}
+
+// Get returns the cached answer for k, marking it most recently used.
+func (c *Cache) Get(k queryKey) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := &c.shards[shardOf(k)]
+	s.mu.Lock()
+	el, ok := s.items[k]
+	var v float64
+	if ok {
+		s.order.MoveToFront(el)
+		// Read under the lock: Put updates existing entries in place.
+		v = el.Value.(*cacheEntry).val
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Put stores the answer for k, evicting the shard's least recently used
+// entry when full.
+func (c *Cache) Put(k queryKey, v float64) {
+	if c == nil {
+		return
+	}
+	s := &c.shards[shardOf(k)]
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		if oldest != nil {
+			delete(s.items, oldest.Value.(*cacheEntry).key)
+			s.order.Remove(oldest)
+		}
+	}
+	s.items[k] = s.order.PushFront(&cacheEntry{key: k, val: v})
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached answers.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"psd"
+)
+
+// API builds the HTTP handler of psdserve. All state lives in the Registry;
+// the API itself is stateless and safe for concurrent use.
+type API struct {
+	// Registry holds the served releases.
+	Registry *Registry
+	// WatchDir, when non-empty, is rescanned by POST /v1/reload.
+	WatchDir string
+	// MaxBodyBytes bounds uploaded release artifacts and batch bodies
+	// (default 256 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds the rectangles per batch request (default 65536).
+	MaxBatch int
+
+	started time.Time
+}
+
+// DefaultMaxBodyBytes bounds request bodies when API.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 256 << 20
+
+// DefaultMaxBatch bounds batch sizes when API.MaxBatch is zero.
+const DefaultMaxBatch = 65536
+
+// Handler returns the routed HTTP handler:
+//
+//	GET    /healthz                      liveness + release count
+//	GET    /v1/releases                  list releases and metadata
+//	POST   /v1/releases/{name}           register/replace a release from the body
+//	DELETE /v1/releases/{name}           unregister
+//	GET    /v1/releases/{name}/count     one query: ?rect=lox,loy,hix,hiy
+//	POST   /v1/releases/{name}/batch     many queries: {"rects":[[4]...]}
+//	GET    /v1/releases/{name}/regions   effective leaf regions + counts
+//	GET    /v1/releases/{name}/stats     serving counters
+//	POST   /v1/reload                    rescan the watch directory
+func (a *API) Handler() http.Handler {
+	a.started = time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /v1/releases", a.handleList)
+	mux.HandleFunc("POST /v1/releases/{name}", a.handleRegister)
+	mux.HandleFunc("DELETE /v1/releases/{name}", a.handleDelete)
+	mux.HandleFunc("GET /v1/releases/{name}/count", a.handleCount)
+	mux.HandleFunc("POST /v1/releases/{name}/batch", a.handleBatch)
+	mux.HandleFunc("GET /v1/releases/{name}/regions", a.handleRegions)
+	mux.HandleFunc("GET /v1/releases/{name}/stats", a.handleStats)
+	mux.HandleFunc("POST /v1/reload", a.handleReload)
+	return mux
+}
+
+func (a *API) maxBody() int64 {
+	if a.MaxBodyBytes > 0 {
+		return a.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+func (a *API) maxBatch() int {
+	if a.MaxBatch > 0 {
+		return a.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is gone; nothing sane to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// release resolves the {name} path segment, writing a 404 on a miss.
+func (a *API) release(w http.ResponseWriter, r *http.Request) (*Release, bool) {
+	name := r.PathValue("name")
+	rel, ok := a.Registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no release %q", name)
+	}
+	return rel, ok
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"releases": a.Registry.Len(),
+		"uptime":   time.Since(a.started).Round(time.Millisecond).String(),
+	})
+}
+
+// releaseInfo is the metadata shape of /v1/releases.
+type releaseInfo struct {
+	Name       string     `json:"name"`
+	Kind       string     `json:"kind"`
+	Height     int        `json:"height"`
+	Epsilon    float64    `json:"epsilon"`
+	Domain     [4]float64 `json:"domain"`
+	NumRegions int        `json:"num_regions"`
+	Bytes      int64      `json:"bytes"`
+	Source     string     `json:"source"`
+	LoadedAt   time.Time  `json:"loaded_at"`
+}
+
+func infoOf(rel *Release) releaseInfo {
+	d := rel.Tree.Domain()
+	return releaseInfo{
+		Name:       rel.Name,
+		Kind:       rel.Tree.Kind(),
+		Height:     rel.Tree.Height(),
+		Epsilon:    rel.Tree.PrivacyCost(),
+		Domain:     [4]float64{d.Lo.X, d.Lo.Y, d.Hi.X, d.Hi.Y},
+		NumRegions: rel.NumRegions,
+		Bytes:      rel.Bytes,
+		Source:     rel.Source,
+		LoadedAt:   rel.LoadedAt,
+	}
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	rels := a.Registry.List()
+	infos := make([]releaseInfo, len(rels))
+	for i, rel := range rels {
+		infos[i] = infoOf(rel)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"releases": infos})
+}
+
+func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, a.maxBody())
+	rel, err := a.Registry.Register(name, "api", body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "register %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(rel))
+}
+
+func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !a.Registry.Remove(name) {
+		writeError(w, http.StatusNotFound, "no release %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseRect parses "lox,loy,hix,hiy" into a finite, ordered rectangle
+// (inverted bounds are swapped, matching psdtool).
+func parseRect(s string) (psd.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return psd.Rect{}, fmt.Errorf("want lox,loy,hix,hiy, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return psd.Rect{}, fmt.Errorf("bad coordinate %q", p)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return psd.Rect{}, fmt.Errorf("non-finite coordinate %q", p)
+		}
+		v[i] = f
+	}
+	return rectFrom(v)
+}
+
+// rectFrom orders and validates four bounds as a query rectangle.
+func rectFrom(v [4]float64) (psd.Rect, error) {
+	for _, f := range v {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return psd.Rect{}, fmt.Errorf("non-finite rect %v", v)
+		}
+	}
+	if v[2] < v[0] {
+		v[0], v[2] = v[2], v[0]
+	}
+	if v[3] < v[1] {
+		v[1], v[3] = v[3], v[1]
+	}
+	return psd.Rect{Lo: psd.Point{X: v[0], Y: v[1]}, Hi: psd.Point{X: v[2], Y: v[3]}}, nil
+}
+
+func (a *API) handleCount(w http.ResponseWriter, r *http.Request) {
+	rel, ok := a.release(w, r)
+	if !ok {
+		return
+	}
+	spec := r.URL.Query().Get("rect")
+	if spec == "" {
+		writeError(w, http.StatusBadRequest, "missing ?rect=lox,loy,hix,hiy")
+		return
+	}
+	q, err := parseRect(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad rect: %v", err)
+		return
+	}
+	val, cached := rel.Count(q)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release": rel.Name,
+		"rect":    [4]float64{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y},
+		"count":   val,
+		"cached":  cached,
+	})
+}
+
+// batchRequest is the body of POST /v1/releases/{name}/batch.
+type batchRequest struct {
+	Rects [][4]float64 `json:"rects"`
+}
+
+func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rel, ok := a.release(w, r)
+	if !ok {
+		return
+	}
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, a.maxBody())
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Rects) > a.maxBatch() {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds limit %d", len(req.Rects), a.maxBatch())
+		return
+	}
+	qs := make([]psd.Rect, len(req.Rects))
+	for i, v := range req.Rects {
+		q, err := rectFrom(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "rect %d: %v", i, err)
+			return
+		}
+		qs[i] = q
+	}
+	vals, hits := rel.CountBatch(qs)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release":    rel.Name,
+		"counts":     vals,
+		"cache_hits": hits,
+	})
+}
+
+func (a *API) handleRegions(w http.ResponseWriter, r *http.Request) {
+	rel, ok := a.release(w, r)
+	if !ok {
+		return
+	}
+	rects, counts := rel.Tree.Regions()
+	flat := make([][4]float64, len(rects))
+	for i, rc := range rects {
+		flat[i] = [4]float64{rc.Lo.X, rc.Lo.Y, rc.Hi.X, rc.Hi.Y}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release": rel.Name,
+		"rects":   flat,
+		"counts":  counts,
+	})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	rel, ok := a.release(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release": rel.Name,
+		"stats":   rel.Stats(),
+	})
+}
+
+func (a *API) handleReload(w http.ResponseWriter, r *http.Request) {
+	if a.WatchDir == "" {
+		writeError(w, http.StatusBadRequest, "no watch directory configured (-dir)")
+		return
+	}
+	loaded, skipped, err := a.Registry.ScanDir(a.WatchDir)
+	resp := map[string]any{
+		"loaded":  loaded,
+		"skipped": skipped,
+	}
+	if err != nil {
+		resp["error"] = err.Error()
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

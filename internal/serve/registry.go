@@ -1,0 +1,288 @@
+// Package serve implements an HTTP serving layer over published PSD
+// releases: the deployment shape the paper's publish-then-serve split
+// implies (Section 4.1). A curator builds a tree once, spending the entire
+// privacy budget, and publishes the release artifact; from then on every
+// range query is free post-processing of the published counts. This package
+// holds the machinery behind cmd/psdserve — a registry of opened releases
+// with atomic hot reload, a bounded sharded answer cache, per-release
+// serving statistics, and the HTTP handlers.
+//
+// Everything here works purely on release artifacts through the public psd
+// API: the server never sees raw points, so nothing it does can spend
+// privacy budget.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"psd"
+)
+
+// countingReader counts bytes read so Register can report the artifact
+// size without buffering the body.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Release is one opened release being served: an immutable query-only tree
+// plus its answer cache and serving statistics. Fields set at registration
+// never change; a hot reload installs a whole new Release, so goroutines
+// holding a pointer to the old one keep answering against a consistent
+// tree.
+type Release struct {
+	// Name is the registry key.
+	Name string
+	// Tree is the reopened query-only decomposition.
+	Tree *psd.Tree
+	// Source says where the artifact came from: a file path or "api".
+	Source string
+	// Bytes is the serialized artifact size.
+	Bytes int64
+	// LoadedAt is the registration time.
+	LoadedAt time.Time
+	// NumRegions is the effective leaf-region count, computed once (the
+	// underlying call materializes every region).
+	NumRegions int
+
+	cache *Cache
+	stats stats
+}
+
+// Count answers one range query through the cache, recording stats.
+func (r *Release) Count(q psd.Rect) (val float64, cached bool) {
+	start := time.Now()
+	k := queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}
+	if v, ok := r.cache.Get(k); ok {
+		r.stats.record(1, 1, time.Since(start))
+		return v, true
+	}
+	v := r.Tree.Count(q)
+	r.cache.Put(k, v)
+	r.stats.record(1, 0, time.Since(start))
+	return v, false
+}
+
+// CountBatch answers a batch of queries: cached answers are filled
+// directly, the misses go through the tree's batch worker pool in one call,
+// and every fresh answer is inserted into the cache. Answers come back in
+// input order and equal what Count would return per rectangle.
+func (r *Release) CountBatch(qs []psd.Rect) (vals []float64, hits int) {
+	start := time.Now()
+	vals = make([]float64, len(qs))
+	missIdx := make([]int, 0, len(qs))
+	missQs := make([]psd.Rect, 0, len(qs))
+	for i, q := range qs {
+		k := queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}
+		if v, ok := r.cache.Get(k); ok {
+			vals[i] = v
+			hits++
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missQs = append(missQs, q)
+	}
+	if len(missQs) > 0 {
+		fresh := r.Tree.CountAll(missQs)
+		for j, i := range missIdx {
+			vals[i] = fresh[j]
+			q := missQs[j]
+			r.cache.Put(queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}, fresh[j])
+		}
+	}
+	r.stats.record(uint64(len(qs)), uint64(hits), time.Since(start))
+	return vals, hits
+}
+
+// Stats returns a snapshot of the release's serving counters.
+func (r *Release) Stats() StatsSnapshot {
+	return r.stats.snapshot(r.cache)
+}
+
+// fileState remembers what was loaded from a watch-directory file so an
+// unchanged file is not re-registered (re-registering would needlessly drop
+// the release's warm cache and stats).
+type fileState struct {
+	size    int64
+	modTime time.Time
+}
+
+// Registry is a named set of served releases. Reads take a shared lock for
+// a single map lookup; everything heavy (opening an artifact, answering
+// queries) happens outside the lock. Registration swaps the map entry
+// atomically, so a reload never exposes a torn tree: in-flight queries
+// finish against the release they already resolved.
+type Registry struct {
+	cacheSize int
+
+	mu      sync.RWMutex
+	entries map[string]*Release
+	files   map[string]fileState
+}
+
+// NewRegistry returns an empty registry whose releases each get an answer
+// cache of the given capacity (<= 0 disables caching).
+func NewRegistry(cacheSize int) *Registry {
+	return &Registry{
+		cacheSize: cacheSize,
+		entries:   make(map[string]*Release),
+		files:     make(map[string]fileState),
+	}
+}
+
+// Get returns the named release.
+func (g *Registry) Get(name string) (*Release, bool) {
+	g.mu.RLock()
+	r, ok := g.entries[name]
+	g.mu.RUnlock()
+	return r, ok
+}
+
+// List returns every registered release, sorted by name.
+func (g *Registry) List() []*Release {
+	g.mu.RLock()
+	out := make([]*Release, 0, len(g.entries))
+	for _, r := range g.entries {
+		out = append(out, r)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered releases.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// Remove deletes the named release, reporting whether it existed.
+func (g *Registry) Remove(name string) bool {
+	g.mu.Lock()
+	_, ok := g.entries[name]
+	delete(g.entries, name)
+	g.mu.Unlock()
+	return ok
+}
+
+// Register opens a serialized release from r and installs it under name,
+// replacing any previous release of that name in one atomic map swap. The
+// artifact is fully parsed and validated before the swap, so a malformed
+// body can never displace a live release.
+func (g *Registry) Register(name, source string, r io.Reader) (*Release, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	cr := &countingReader{r: r}
+	tree, err := psd.OpenRelease(cr)
+	if err != nil {
+		return nil, err
+	}
+	rel := &Release{
+		Name:       name,
+		Tree:       tree,
+		Source:     source,
+		Bytes:      cr.n,
+		LoadedAt:   time.Now(),
+		NumRegions: tree.NumRegions(),
+		cache:      NewCache(g.cacheSize),
+	}
+	g.mu.Lock()
+	g.entries[name] = rel
+	g.mu.Unlock()
+	return rel, nil
+}
+
+// validateName keeps registry names unambiguous in URLs and file names.
+func validateName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("serve: invalid release name %q", name)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("serve: invalid release name %q (use [A-Za-z0-9._-])", name)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("serve: invalid release name %q", name)
+	}
+	return nil
+}
+
+// LoadFile opens a release artifact from path and registers it under name.
+func (g *Registry) LoadFile(name, path string) (*Release, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rel, err := g.Register(name, path, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rel, nil
+}
+
+// ScanDir loads every *.json artifact in dir, naming each release after its
+// file (minus the extension). Files whose size and mtime are unchanged
+// since the last scan are skipped, preserving their warm caches and stats;
+// changed or new files are (re)loaded with an atomic swap. It returns the
+// names loaded and skipped this scan; per-file load errors are collected
+// rather than aborting the scan, so one bad artifact can't block the rest.
+func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
+	glob, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(glob)
+	var errs []string
+	for _, path := range glob {
+		info, err := os.Stat(path)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		st := fileState{size: info.Size(), modTime: info.ModTime()}
+		g.mu.RLock()
+		prev, known := g.files[path]
+		live, exists := g.entries[name]
+		g.mu.RUnlock()
+		// Skip only when the live entry still comes from this file: an API
+		// POST under the same name must not block the file from being
+		// reinstated by the next rescan.
+		if known && exists && live.Source == path && prev == st {
+			skipped = append(skipped, name)
+			continue
+		}
+		if _, err := g.LoadFile(name, path); err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		g.mu.Lock()
+		g.files[path] = st
+		g.mu.Unlock()
+		loaded = append(loaded, name)
+	}
+	if len(errs) > 0 {
+		return loaded, skipped, fmt.Errorf("serve: %s", strings.Join(errs, "; "))
+	}
+	return loaded, skipped, nil
+}

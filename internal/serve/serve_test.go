@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"psd"
+)
+
+// buildTree constructs a small deterministic tree for serving tests.
+func buildTree(t *testing.T, seed int64) *psd.Tree {
+	t.Helper()
+	dom := psd.NewRect(0, 0, 100, 100)
+	pts := make([]psd.Point, 0, 2000)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return float64((z^(z>>31))>>11) / float64(1<<53)
+	}
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, psd.Point{X: 100 * next(), Y: 100 * next()})
+	}
+	tree, err := psd.Build(pts, dom, psd.Options{
+		Kind: psd.QuadtreeKind, Height: 4, Epsilon: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func releaseBytes(t *testing.T, tree *psd.Tree) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tree.WriteRelease(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, api *API) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding: %v", url, err)
+		}
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	tree := buildTree(t, 7)
+	reg := NewRegistry(1024)
+	api := &API{Registry: reg}
+	srv := newTestServer(t, api)
+
+	// Empty registry: health is up, count 404s.
+	var health struct {
+		Status   string `json:"status"`
+		Releases int    `json:"releases"`
+	}
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Releases != 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	getJSON(t, srv.URL+"/v1/releases/roads/count?rect=0,0,1,1", http.StatusNotFound, nil)
+
+	// Register over HTTP.
+	var info releaseInfo
+	postJSON(t, srv.URL+"/v1/releases/roads", releaseBytes(t, tree), http.StatusCreated, &info)
+	if info.Kind != "quadtree" || info.Height != 4 {
+		t.Fatalf("register info = %+v", info)
+	}
+
+	// Single count matches the in-process tree exactly.
+	q := psd.NewRect(10, 20, 55, 70)
+	want := tree.Count(q)
+	var single struct {
+		Count  float64 `json:"count"`
+		Cached bool    `json:"cached"`
+	}
+	url := fmt.Sprintf("%s/v1/releases/roads/count?rect=%g,%g,%g,%g",
+		srv.URL, q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y)
+	getJSON(t, url, http.StatusOK, &single)
+	if single.Count != want {
+		t.Fatalf("served count %v, want %v", single.Count, want)
+	}
+	if single.Cached {
+		t.Fatal("first query reported cached")
+	}
+	getJSON(t, url, http.StatusOK, &single)
+	if single.Count != want || !single.Cached {
+		t.Fatalf("repeat query = %+v, want cached %v", single, want)
+	}
+
+	// Batch matches CountAll exactly (including a repeated rect → cache hit).
+	qs := []psd.Rect{
+		psd.NewRect(0, 0, 100, 100),
+		psd.NewRect(25, 25, 75, 75),
+		q, // cached from above
+	}
+	wantAll := tree.CountAll(qs)
+	body, _ := json.Marshal(map[string][][4]float64{"rects": {
+		{0, 0, 100, 100}, {25, 25, 75, 75}, {q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y},
+	}})
+	var batch struct {
+		Counts    []float64 `json:"counts"`
+		CacheHits int       `json:"cache_hits"`
+	}
+	postJSON(t, srv.URL+"/v1/releases/roads/batch", body, http.StatusOK, &batch)
+	if len(batch.Counts) != len(wantAll) {
+		t.Fatalf("batch returned %d counts", len(batch.Counts))
+	}
+	for i := range wantAll {
+		if batch.Counts[i] != wantAll[i] {
+			t.Fatalf("batch[%d] = %v, want %v", i, batch.Counts[i], wantAll[i])
+		}
+	}
+	if batch.CacheHits < 1 {
+		t.Fatalf("batch cache hits = %d, want >= 1", batch.CacheHits)
+	}
+
+	// Regions match.
+	rects, counts := tree.Regions()
+	var regions struct {
+		Rects  [][4]float64 `json:"rects"`
+		Counts []float64    `json:"counts"`
+	}
+	getJSON(t, srv.URL+"/v1/releases/roads/regions", http.StatusOK, &regions)
+	if len(regions.Rects) != len(rects) || len(regions.Counts) != len(counts) {
+		t.Fatalf("regions: %d/%d, want %d/%d",
+			len(regions.Rects), len(regions.Counts), len(rects), len(counts))
+	}
+	for i := range counts {
+		if regions.Counts[i] != counts[i] {
+			t.Fatalf("region count %d = %v, want %v", i, regions.Counts[i], counts[i])
+		}
+	}
+
+	// Stats reflect the traffic.
+	var statsResp struct {
+		Stats StatsSnapshot `json:"stats"`
+	}
+	getJSON(t, srv.URL+"/v1/releases/roads/stats", http.StatusOK, &statsResp)
+	st := statsResp.Stats
+	if st.Requests != 3 || st.Queries != 5 {
+		t.Fatalf("stats = %+v, want 3 requests / 5 queries", st)
+	}
+	if st.CacheHits != 2 || st.CacheHitRate != 0.4 {
+		t.Fatalf("stats = %+v, want 2 hits (rate 0.4)", st)
+	}
+
+	// List, then delete.
+	var list struct {
+		Releases []releaseInfo `json:"releases"`
+	}
+	getJSON(t, srv.URL+"/v1/releases", http.StatusOK, &list)
+	if len(list.Releases) != 1 || list.Releases[0].Name != "roads" {
+		t.Fatalf("list = %+v", list)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/releases/roads", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/v1/releases/roads/count?rect=0,0,1,1", http.StatusNotFound, nil)
+}
+
+func TestServerRejectsBadInput(t *testing.T) {
+	tree := buildTree(t, 9)
+	reg := NewRegistry(16)
+	if _, err := reg.Register("r", "test", bytes.NewReader(releaseBytes(t, tree))); err != nil {
+		t.Fatal(err)
+	}
+	api := &API{Registry: reg, MaxBatch: 4}
+	srv := newTestServer(t, api)
+
+	getJSON(t, srv.URL+"/v1/releases/r/count", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/v1/releases/r/count?rect=1,2,3", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/v1/releases/r/count?rect=a,b,c,d", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/v1/releases/r/count?rect=NaN,0,1,1", http.StatusBadRequest, nil)
+
+	// Inverted bounds are normalized, not rejected.
+	var single struct {
+		Count float64 `json:"count"`
+	}
+	getJSON(t, srv.URL+"/v1/releases/r/count?rect=60,60,20,20", http.StatusOK, &single)
+	if want := tree.Count(psd.NewRect(20, 20, 60, 60)); single.Count != want {
+		t.Fatalf("normalized count %v, want %v", single.Count, want)
+	}
+
+	postJSON(t, srv.URL+"/v1/releases/r/batch", []byte("{bad"), http.StatusBadRequest, nil)
+	over, _ := json.Marshal(map[string][][4]float64{"rects": {
+		{0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1},
+	}})
+	postJSON(t, srv.URL+"/v1/releases/r/batch", over, http.StatusRequestEntityTooLarge, nil)
+	nanBatch, _ := json.Marshal(map[string][]any{"rects": {[]any{math.MaxFloat64, 0, "NaN", 1}}})
+	postJSON(t, srv.URL+"/v1/releases/r/batch", nanBatch, http.StatusBadRequest, nil)
+
+	// Malformed artifacts never register.
+	postJSON(t, srv.URL+"/v1/releases/bad", []byte("{not a release"), http.StatusBadRequest, nil)
+	postJSON(t, srv.URL+"/v1/releases/bad",
+		[]byte(`{"version":1,"kind":"quadtree","epsilon":1,"fanout":4,"height":12,"domain":[0,0,1,1],"rects":[[0,0,1,1]],"counts":[1]}`),
+		http.StatusBadRequest, nil)
+	postJSON(t, srv.URL+"/v1/releases/bad%2Fname", releaseBytes(t, tree), http.StatusBadRequest, nil)
+	if _, ok := reg.Get("bad"); ok {
+		t.Fatal("malformed artifact was registered")
+	}
+
+	// Reload without a watch dir is a 400.
+	postJSON(t, srv.URL+"/v1/reload", nil, http.StatusBadRequest, nil)
+}
+
+func TestWatchDirReload(t *testing.T) {
+	dir := t.TempDir()
+	treeA := buildTree(t, 11)
+	if err := os.WriteFile(filepath.Join(dir, "alpha.json"), releaseBytes(t, treeA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(64)
+	api := &API{Registry: reg, WatchDir: dir}
+	srv := newTestServer(t, api)
+
+	var out struct {
+		Loaded  []string `json:"loaded"`
+		Skipped []string `json:"skipped"`
+	}
+	postJSON(t, srv.URL+"/v1/reload", nil, http.StatusOK, &out)
+	if len(out.Loaded) != 1 || out.Loaded[0] != "alpha" {
+		t.Fatalf("first scan loaded %v", out.Loaded)
+	}
+
+	// Unchanged files are skipped (cache and stats survive).
+	rel, _ := reg.Get("alpha")
+	rel.Count(psd.NewRect(0, 0, 50, 50))
+	postJSON(t, srv.URL+"/v1/reload", nil, http.StatusOK, &out)
+	if len(out.Skipped) != 1 || len(out.Loaded) != 0 {
+		t.Fatalf("second scan = %+v", out)
+	}
+	if rel2, _ := reg.Get("alpha"); rel2 != rel {
+		t.Fatal("unchanged file was re-registered")
+	}
+
+	// A new file registers under its basename; a bad file reports an error
+	// without blocking the good ones.
+	treeB := buildTree(t, 12)
+	if err := os.WriteFile(filepath.Join(dir, "beta.json"), releaseBytes(t, treeB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var third struct {
+		Loaded  []string `json:"loaded"`
+		Skipped []string `json:"skipped"`
+		Error   string   `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&third); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("scan with bad file: status %d", resp.StatusCode)
+	}
+	if len(third.Loaded) != 1 || third.Loaded[0] != "beta" || third.Error == "" {
+		t.Fatalf("third scan = %+v", third)
+	}
+	if _, ok := reg.Get("beta"); !ok {
+		t.Fatal("beta not registered")
+	}
+
+	// An API-posted release under a watched name must not stick: even with
+	// the file unchanged on disk, the next rescan reinstates the file's
+	// artifact (the skip requires the live entry to still be file-sourced).
+	os.Remove(filepath.Join(dir, "broken.json"))
+	if _, err := reg.Register("alpha", "api", bytes.NewReader(releaseBytes(t, treeB))); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, srv.URL+"/v1/reload", nil, http.StatusOK, &out)
+	reinstated, _ := reg.Get("alpha")
+	if reinstated.Source == "api" {
+		t.Fatal("rescan did not reinstate the watched file over the API-posted release")
+	}
+}
+
+// TestConcurrentQueriesAndHotReload is the acceptance race check: many
+// goroutines query while others repeatedly hot-swap the same release. Every
+// answer must equal one of the two valid trees' answers — never a torn mix.
+func TestConcurrentQueriesAndHotReload(t *testing.T) {
+	treeA := buildTree(t, 21)
+	treeB := buildTree(t, 22)
+	relA, relB := releaseBytes(t, treeA), releaseBytes(t, treeB)
+
+	reg := NewRegistry(512)
+	if _, err := reg.Register("hot", "test", bytes.NewReader(relA)); err != nil {
+		t.Fatal(err)
+	}
+	api := &API{Registry: reg}
+	srv := newTestServer(t, api)
+
+	q := psd.NewRect(12.5, 12.5, 87.5, 87.5)
+	wantA, wantB := treeA.Count(q), treeB.Count(q)
+	if wantA == wantB {
+		t.Fatal("test needs distinguishable trees")
+	}
+
+	const readers, swaps, queries = 8, 40, 60
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	url := fmt.Sprintf("%s/v1/releases/hot/count?rect=%g,%g,%g,%g",
+		srv.URL, q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out struct {
+					Count float64 `json:"count"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if out.Count != wantA && out.Count != wantB {
+					errc <- fmt.Errorf("torn answer %v (want %v or %v)", out.Count, wantA, wantB)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			body := relA
+			if i%2 == 0 {
+				body = relB
+			}
+			resp, err := http.Post(srv.URL+"/v1/releases/hot", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				errc <- fmt.Errorf("swap status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
