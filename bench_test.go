@@ -9,7 +9,10 @@ package psd
 // paper-vs-measured comparison.
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -330,7 +333,9 @@ func BenchmarkBuild(b *testing.B) {
 }
 
 // BenchmarkCountAll measures batch range-query throughput (the serving
-// path) against single-query dispatch, across the same parallelism axis.
+// path) across the parallelism axis, for both read engines: the arena
+// (pointer-per-node tree) and the sealed slab (structure-of-arrays). The
+// two return bit-identical answers; the axis isolates the layout.
 func BenchmarkCountAll(b *testing.B) {
 	env := quickEnv(b)
 	tree, err := Build(env.Data.Points, env.Data.Domain, Options{
@@ -339,6 +344,7 @@ func BenchmarkCountAll(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	slab := tree.Seal()
 	qs, err := env.Queries(workload.QueryShape{W: 10, H: 10})
 	if err != nil {
 		b.Fatal(err)
@@ -348,21 +354,33 @@ func BenchmarkCountAll(b *testing.B) {
 	for len(batch) < 960 {
 		batch = append(batch, qs.Rects...)
 	}
-	for _, par := range BenchParallelisms() {
-		b.Run(fmt.Sprintf("batch960/par=%d", par), func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			var out []float64
-			for i := 0; i < b.N; i++ {
-				out = tree.inner.CountAllWorkers(batch, par)
-			}
-			_ = out
-			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
-		})
+	engines := []struct {
+		name string
+		run  func([]Rect, int) []float64
+	}{
+		{"arena", tree.inner.CountAllWorkers},
+		{"slab", slab.inner.CountAllWorkers},
+	}
+	for _, eng := range engines {
+		for _, par := range BenchParallelisms() {
+			b.Run(fmt.Sprintf("%s/batch960/par=%d", eng.name, par), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				var out []float64
+				for i := 0; i < b.N; i++ {
+					out = eng.run(batch, par)
+				}
+				_ = out
+				b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			})
+		}
 	}
 }
 
-// BenchmarkQuery measures range-query latency on a built tree.
+// BenchmarkQuery measures single range-query latency on both read engines,
+// for a small (1%×1%) and a large (most-of-the-domain) rectangle. Allocs
+// are reported because the acceptance bar is zero: single queries must not
+// allocate (the DFS stacks are pooled).
 func BenchmarkQuery(b *testing.B) {
 	env := quickEnv(b)
 	tree, err := Build(env.Data.Points, env.Data.Domain, Options{
@@ -371,13 +389,63 @@ func BenchmarkQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	qs, err := env.Queries(workload.QueryShape{W: 10, H: 10})
+	slab := tree.Seal()
+	qs, err := env.Queries(workload.QueryShape{W: 1, H: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = tree.Count(qs.Rects[i%len(qs.Rects)])
+	d := env.Data.Domain
+	large := NewRect(
+		d.Lo.X+0.05*d.Width(), d.Lo.Y+0.05*d.Height(),
+		d.Lo.X+0.95*d.Width(), d.Lo.Y+0.95*d.Height(),
+	)
+	shapes := []struct {
+		name  string
+		rects []Rect
+	}{
+		{"small", qs.Rects},
+		{"large", []Rect{large}},
+	}
+	for _, sh := range shapes {
+		b.Run("arena/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tree.Count(sh.rects[i%len(sh.rects)])
+			}
+		})
+		b.Run("slab/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = slab.Count(sh.rects[i%len(sh.rects)])
+			}
+		})
+	}
+}
+
+// BenchmarkOpenRelease measures artifact open latency into the serving form
+// (OpenSlab) for the committed golden quadtree release in both encodings —
+// the hot-reload path of cmd/psdserve.
+func BenchmarkOpenRelease(b *testing.B) {
+	for _, enc := range []struct{ name, file string }{
+		{"json", "release_quadtree.json"},
+		{"binary", "release_quadtree.bin"},
+	} {
+		data, err := os.ReadFile(filepath.Join("testdata", enc.file))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(enc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := OpenSlab(bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

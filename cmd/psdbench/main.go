@@ -21,11 +21,16 @@
 //	bench   build/query hot-path microbenchmarks, written as JSON
 //	        (-benchout, default BENCH_build.json) so the performance
 //	        trajectory is machine-readable across commits
+//	query-bench
+//	        query-side hot paths: single query and batch CountAll on the
+//	        arena vs the flat slab engine, release open time for the JSON
+//	        vs binary encoding, and the allocation-free serve.Count path,
+//	        written as JSON (-queryout, default BENCH_query.json)
 //	serve-bench
 //	        HTTP serving load generator: queries/sec and cache hit rate
 //	        through the psdserve handler stack, written as JSON
 //	        (-serveout, default BENCH_serve.json)
-//	all     everything above (except bench and serve-bench)
+//	all     everything above (except bench, query-bench and serve-bench)
 //
 // Flags:
 //
@@ -54,10 +59,14 @@ func main() {
 	seed := flag.Int64("seed", 0, "override experiment seed (0 keeps default)")
 	benchOut := flag.String("benchout", "BENCH_build.json",
 		"output path for the bench experiment's JSON report")
+	queryOut := flag.String("queryout", "BENCH_query.json",
+		"output path for the query-bench experiment's JSON report")
+	testdata := flag.String("testdata", "testdata",
+		"directory holding the golden release fixtures (query-bench open rows)")
 	serveOut := flag.String("serveout", "BENCH_serve.json",
 		"output path for the serve-bench experiment's JSON report")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|bench|serve-bench|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|bench|query-bench|serve-bench|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,13 +84,13 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	if err := run(which, scale, *paper, *benchOut, *serveOut); err != nil {
+	if err := run(which, scale, *paper, *benchOut, *queryOut, *testdata, *serveOut); err != nil {
 		fmt.Fprintln(os.Stderr, "psdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, scale eval.Scale, paper bool, benchOut, serveOut string) error {
+func run(which string, scale eval.Scale, paper bool, benchOut, queryOut, testdata, serveOut string) error {
 	needEnv := which != "fig2" && which != "fig4" && which != "fig7b"
 	var env *eval.Env
 	if needEnv || which == "all" {
@@ -183,6 +192,9 @@ func run(which string, scale eval.Scale, paper bool, benchOut, serveOut string) 
 		},
 		"bench": func() error {
 			return runBenchJSON(env, scale, benchOut)
+		},
+		"query-bench": func() error {
+			return runQueryBench(env, scale, testdata, queryOut)
 		},
 		"serve-bench": func() error {
 			return runServeBench(env, scale, serveOut)

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"psd"
+	"psd/internal/eval"
+	"psd/internal/serve"
+	"psd/internal/workload"
+)
+
+// queryReport is the machine-readable query-side performance snapshot
+// `psdbench query-bench` writes (BENCH_query.json by default): the serving
+// hot paths — single query, batch CountAll, artifact open, and the
+// in-process serve.Count — measured on both read engines (the tree arena
+// and the flat slab) and both release encodings (JSON format 1 and binary
+// format v2), so the two tentpole speedups are pinned as committed numbers.
+type queryReport struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	Scale     string `json:"scale"`
+	Points    int    `json:"points"`
+	UnixTime  int64  `json:"unix_time"`
+	Rows      []queryRow `json:"rows"`
+}
+
+// queryRow is one measured configuration.
+type queryRow struct {
+	// Name is "<op>/<case>/<engine>[/par=<n>]".
+	Name string `json:"name"`
+	// Op is "query", "countall", "open" or "servecount".
+	Op string `json:"op"`
+	// Engine is "arena" or "slab" (read engines), or "json" or "binary"
+	// (release encodings, for open rows).
+	Engine string `json:"engine"`
+	// Parallelism is the worker bound (countall rows; 0 = one per core).
+	Parallelism int `json:"parallelism,omitempty"`
+	// NsPerOp is wall time per operation (one query, one batch, one open).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from the Go benchmark framework. The
+	// acceptance bar for single-query rows is 0 allocs/op.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// QueriesPerSec is batch throughput (countall rows).
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	// ArtifactBytes is the serialized size (open rows).
+	ArtifactBytes int `json:"artifact_bytes,omitempty"`
+	// SpeedupVsArena is arena-ns / this-ns on the matching arena row
+	// (slab rows), and SpeedupVsJSON is json-ns / this-ns (binary open
+	// rows): the two tentpole acceptance ratios.
+	SpeedupVsArena float64 `json:"speedup_vs_arena,omitempty"`
+	SpeedupVsJSON  float64 `json:"speedup_vs_json,omitempty"`
+}
+
+// benchNs runs fn under testing.Benchmark and returns the per-op numbers.
+func benchNs(fn func(b *testing.B)) (ns float64, allocs, bytes int64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return float64(res.NsPerOp()), res.AllocsPerOp(), res.AllocedBytesPerOp()
+}
+
+// runQueryBench measures the query/serving hot paths and writes the report.
+// The open rows use the committed golden quadtree fixture (testdataDir), so
+// the measured artifact is the exact one CI serves end-to-end.
+func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string) error {
+	report := queryReport{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.GOMAXPROCS(0),
+		Scale:     scale.Name,
+		Points:    len(env.Data.Points),
+		UnixTime:  time.Now().Unix(),
+	}
+
+	// The acceptance configuration: the kd h=8 build of BuildBenchConfigs,
+	// queried with the paper's 10%×10% workload at serving batch size.
+	tree, err := psd.Build(env.Data.Points, env.Data.Domain, psd.Options{
+		Kind: psd.KDTree, Height: 8, Epsilon: 0.5, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	slab := tree.Seal()
+	qs, err := env.Queries(workload.QueryShape{W: 10, H: 10})
+	if err != nil {
+		return err
+	}
+	batch := make([]psd.Rect, 0, 960)
+	for len(batch) < 960 {
+		batch = append(batch, qs.Rects...)
+	}
+	small, err := env.Queries(workload.QueryShape{W: 1, H: 1})
+	if err != nil {
+		return err
+	}
+	d := env.Data.Domain
+	large := psd.NewRect(
+		d.Lo.X+0.05*d.Width(), d.Lo.Y+0.05*d.Height(),
+		d.Lo.X+0.95*d.Width(), d.Lo.Y+0.95*d.Height(),
+	)
+
+	emit := func(row queryRow) {
+		report.Rows = append(report.Rows, row)
+		extra := ""
+		if row.SpeedupVsArena > 0 {
+			extra = fmt.Sprintf("  %.2fx vs arena", row.SpeedupVsArena)
+		}
+		if row.SpeedupVsJSON > 0 {
+			extra = fmt.Sprintf("  %.2fx vs json", row.SpeedupVsJSON)
+		}
+		fmt.Printf("%-36s %12.0f ns/op %6d allocs/op%s\n", row.Name, row.NsPerOp, row.AllocsPerOp, extra)
+	}
+
+	// Single-query latency, small and large rects, both engines. Allocs
+	// must be 0: the DFS stacks are pooled.
+	queryCases := []struct {
+		name  string
+		rects []psd.Rect
+	}{
+		{"small", small.Rects},
+		{"large", []psd.Rect{large}},
+	}
+	for _, qc := range queryCases {
+		rects := qc.rects
+		arenaNs, arenaAllocs, arenaBytes := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = tree.Count(rects[i%len(rects)])
+			}
+		})
+		emit(queryRow{
+			Name: "query/" + qc.name + "/arena", Op: "query", Engine: "arena",
+			NsPerOp: arenaNs, AllocsPerOp: arenaAllocs, BytesPerOp: arenaBytes,
+		})
+		slabNs, slabAllocs, slabBytes := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = slab.Count(rects[i%len(rects)])
+			}
+		})
+		emit(queryRow{
+			Name: "query/" + qc.name + "/slab", Op: "query", Engine: "slab",
+			NsPerOp: slabNs, AllocsPerOp: slabAllocs, BytesPerOp: slabBytes,
+			SpeedupVsArena: arenaNs / slabNs,
+		})
+	}
+
+	// Batch CountAll on the kd h=8 tree: the acceptance comparison. par=1
+	// isolates the engines with a sequential loop; par=0 runs the real
+	// CountAll worker pool (one worker per core), the serving configuration.
+	for _, par := range []int{1, 0} {
+		par := par
+		arenaNs, arenaAllocs, arenaBytes := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = arenaCountAll(tree, batch, par)
+			}
+		})
+		emit(queryRow{
+			Name: fmt.Sprintf("countall/kd-h8-batch960/arena/par=%d", par),
+			Op:   "countall", Engine: "arena", Parallelism: par,
+			NsPerOp: arenaNs, AllocsPerOp: arenaAllocs, BytesPerOp: arenaBytes,
+			QueriesPerSec: float64(len(batch)) * 1e9 / arenaNs,
+		})
+		slabNs, slabAllocs, slabBytes := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = slabCountAll(slab, batch, par)
+			}
+		})
+		emit(queryRow{
+			Name: fmt.Sprintf("countall/kd-h8-batch960/slab/par=%d", par),
+			Op:   "countall", Engine: "slab", Parallelism: par,
+			NsPerOp: slabNs, AllocsPerOp: slabAllocs, BytesPerOp: slabBytes,
+			QueriesPerSec:  float64(len(batch)) * 1e9 / slabNs,
+			SpeedupVsArena: arenaNs / slabNs,
+		})
+	}
+
+	// Artifact open into the serving form, both encodings of the golden
+	// quadtree release.
+	jsonBytes, err := os.ReadFile(filepath.Join(testdataDir, "release_quadtree.json"))
+	if err != nil {
+		return fmt.Errorf("query-bench needs the golden fixtures (run from the repo root, or pass -testdata): %w", err)
+	}
+	goldenSlab, err := psd.OpenSlab(bytes.NewReader(jsonBytes))
+	if err != nil {
+		return err
+	}
+	var binBuf bytes.Buffer
+	if err := goldenSlab.WriteBinaryRelease(&binBuf); err != nil {
+		return err
+	}
+	binBytes := binBuf.Bytes()
+	jsonNs, jsonAllocs, jsonAlloced := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := psd.OpenSlab(bytes.NewReader(jsonBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	emit(queryRow{
+		Name: "open/golden-quadtree/json", Op: "open", Engine: "json",
+		NsPerOp: jsonNs, AllocsPerOp: jsonAllocs, BytesPerOp: jsonAlloced,
+		ArtifactBytes: len(jsonBytes),
+	})
+	binNs, binAllocs, binAlloced := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := psd.OpenSlab(bytes.NewReader(binBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	emit(queryRow{
+		Name: "open/golden-quadtree/binary", Op: "open", Engine: "binary",
+		NsPerOp: binNs, AllocsPerOp: binAllocs, BytesPerOp: binAlloced,
+		ArtifactBytes: len(binBytes),
+		SpeedupVsJSON: jsonNs / binNs,
+	})
+
+	// serve.Release.Count with the cache off: the handler-level hot path
+	// must not allocate either.
+	reg := serve.NewRegistry(0)
+	var artifact bytes.Buffer
+	if err := tree.WriteBinaryRelease(&artifact); err != nil {
+		return err
+	}
+	rel, err := reg.Register("bench", "bench", bytes.NewReader(artifact.Bytes()))
+	if err != nil {
+		return err
+	}
+	q := batch[0]
+	rel.Count(q)
+	srvNs, srvAllocs, srvBytes := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel.Count(q)
+		}
+	})
+	emit(queryRow{
+		Name: "servecount/nocache/slab", Op: "servecount", Engine: "slab",
+		NsPerOp: srvNs, AllocsPerOp: srvAllocs, BytesPerOp: srvBytes,
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s (%d rows)\n", outPath, len(report.Rows))
+	return nil
+}
+
+// arenaCountAll pins the measured path: workers == 1 is an explicit
+// sequential loop, anything else goes through the CountAll worker pool
+// (one worker per core) — so the par=0 rows really measure the pool even
+// on machines the treeCountAll helper would run inline.
+func arenaCountAll(t *psd.Tree, qs []psd.Rect, workers int) []float64 {
+	if workers == 1 {
+		out := make([]float64, len(qs))
+		for i, q := range qs {
+			out[i] = t.Count(q)
+		}
+		return out
+	}
+	return t.CountAll(qs)
+}
+
+// slabCountAll mirrors arenaCountAll for the slab engine.
+func slabCountAll(s *psd.Slab, qs []psd.Rect, workers int) []float64 {
+	if workers == 1 {
+		out := make([]float64, len(qs))
+		for i, q := range qs {
+			out[i] = s.Count(q)
+		}
+		return out
+	}
+	return s.CountAll(qs)
+}

@@ -1,16 +1,20 @@
 // Command psdserve serves range-count queries over published PSD releases.
 //
 // A release is the ε-differentially private artifact a curator builds once
-// (psd.Tree.WriteRelease); answering queries against it is free
+// (psd.Tree.WriteRelease for JSON, psd.Tree.WriteBinaryRelease for the
+// binary columnar format v2); answering queries against it is free
 // post-processing, so one server can handle unlimited traffic with no
-// further privacy spend. psdserve loads one or more releases into a named
-// registry and answers single and batch queries over HTTP, caching repeated
-// answers in a bounded sharded LRU.
+// further privacy spend. psdserve loads one or more releases — either
+// format, sniffed from the leading bytes — into a named registry of flat
+// query slabs and answers single and batch queries over HTTP, caching
+// repeated answers in a bounded sharded LRU. Binary artifacts decode
+// straight into the serving columns; prefer them where reload latency
+// matters (see `psdtool convert`).
 //
 // Usage:
 //
-//	psdserve -addr :8080 -release roads=roads.json -release salaries=sal.json
-//	psdserve -addr :8080 -dir /var/releases   # serve every *.json in dir
+//	psdserve -addr :8080 -release roads=roads.bin -release salaries=sal.json
+//	psdserve -addr :8080 -dir /var/releases   # serve every *.json/*.bin in dir
 //
 // Endpoints:
 //
@@ -61,7 +65,7 @@ func (v *nameEqPath) Set(s string) error {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("dir", "", "watch directory: serve every *.json in it, rescanned by POST /v1/reload")
+	dir := flag.String("dir", "", "watch directory: serve every *.json/*.bin in it, rescanned by POST /v1/reload")
 	cacheSize := flag.Int("cache", 1<<16, "per-release answer cache capacity (0 disables)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rectangles per batch request")
@@ -78,7 +82,7 @@ func main() {
 			logger.Fatalf("loading %s: %v", r.path, err)
 		}
 		logger.Printf("serving %q: %s h=%d eps=%g, %d regions (%d bytes)",
-			rel.Name, rel.Tree.Kind(), rel.Tree.Height(), rel.Tree.PrivacyCost(),
+			rel.Name, rel.Slab.Kind(), rel.Slab.Height(), rel.Slab.PrivacyCost(),
 			rel.NumRegions, rel.Bytes)
 	}
 	if *dir != "" {

@@ -1,5 +1,7 @@
 // Command psdtool builds a private spatial decomposition from a CSV point
-// file and answers range queries or dumps the released regions.
+// file and answers range queries, dumps the released regions, or writes the
+// release artifact; its convert subcommand translates artifacts between the
+// JSON and binary release formats.
 //
 // Usage:
 //
@@ -8,17 +10,29 @@
 //
 //	psdtool -data points.csv -kind quadtree -height 5 -eps 1 -regions
 //
+//	psdtool -data points.csv -kind quadtree -height 8 -eps 0.5 -out roads.bin
+//
+//	psdtool convert -in release.json -out release.bin
+//
 // The input CSV has one "x,y" row per point; lines starting with '#' are
 // skipped. The domain defaults to the data's bounding box (see the
 // BoundingBox caveat in the library docs: fixing a public domain is the
 // right call for a real release) and can be overridden with -domain.
+//
+// -out and convert's -out choose the release encoding by file extension:
+// ".bin" writes the binary columnar format v2 (compact, and decoded by
+// psdserve straight into its serving columns), anything else writes the
+// versioned JSON format 1. convert reads either format, sniffing the
+// leading bytes, so both directions are the same command line.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -62,6 +76,10 @@ func parseRect(s string) (psd.Rect, error) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		runConvert(os.Args[2:])
+		return
+	}
 	data := flag.String("data", "", "CSV point file (required)")
 	kindName := flag.String("kind", "quadtree",
 		"tree kind: quadtree, kd, kd-hybrid, hilbert-r, kd-cell, kd-noisymean")
@@ -70,6 +88,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "build seed")
 	domainSpec := flag.String("domain", "", "domain as x1,y1,x2,y2 (default: data bounding box)")
 	regions := flag.Bool("regions", false, "dump released regions as CSV")
+	out := flag.String("out", "", "write the release artifact to this file (.bin = binary v2, else JSON)")
 	var queries rectFlag
 	flag.Var(&queries, "query", "range query as x1,y1,x2,y2 (repeatable)")
 	flag.Parse()
@@ -118,6 +137,13 @@ func main() {
 	for _, q := range queries {
 		fmt.Printf("count %v = %.1f\n", q, tree.Count(q))
 	}
+	if *out != "" {
+		n, err := writeRelease(tree, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s release to %s (%d bytes)\n", formatOf(*out), *out, n)
+	}
 	if *regions {
 		rects, counts := tree.Regions()
 		fmt.Println("lox,loy,hix,hiy,count")
@@ -163,4 +189,97 @@ func readPoints(path string) ([]psd.Point, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "psdtool:", err)
 	os.Exit(1)
+}
+
+// formatOf names the release encoding a path's extension selects.
+func formatOf(path string) string {
+	if strings.EqualFold(filepath.Ext(path), ".bin") {
+		return "binary"
+	}
+	return "json"
+}
+
+// writeArtifact buffers write's output into a freshly created path,
+// returning the byte count.
+func writeArtifact(path string, write func(io.Writer) error) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(f)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// writeRelease serializes the tree's release to path in the
+// extension-selected format, returning the byte count.
+func writeRelease(tree *psd.Tree, path string) (int64, error) {
+	if formatOf(path) == "binary" {
+		return writeArtifact(path, tree.WriteBinaryRelease)
+	}
+	return writeArtifact(path, tree.WriteRelease)
+}
+
+// runConvert implements `psdtool convert`: translate a release artifact
+// between the JSON and binary encodings. The input format is sniffed from
+// the leading bytes; the output format follows the -out extension. The two
+// encodings carry the same artifact, so converting is lossless: a release
+// round-tripped either way re-serializes byte-identically.
+func runConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input release artifact, JSON or binary (required)")
+	out := fs.String("out", "", "output path; .bin writes binary v2, anything else JSON (required)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: psdtool convert -in release.json -out release.bin")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	slab, n, err := convert(*in, *out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# converted %s (%s h=%d eps=%g, %d regions) -> %s %s (%d bytes)\n",
+		*in, slab.Kind(), slab.Height(), slab.PrivacyCost(), slab.NumRegions(),
+		formatOf(*out), *out, n)
+}
+
+// convert opens the release at in (either format, sniffed) and writes it to
+// out in the extension-selected format, returning the opened slab and the
+// output size.
+func convert(in, out string) (*psd.Slab, int64, error) {
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	slab, err := psd.OpenSlab(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", in, err)
+	}
+	write := slab.WriteRelease
+	if formatOf(out) == "binary" {
+		write = slab.WriteBinaryRelease
+	}
+	n, err := writeArtifact(out, write)
+	if err != nil {
+		return nil, 0, err
+	}
+	return slab, n, nil
 }

@@ -54,6 +54,106 @@ func TestRectFlagAccumulates(t *testing.T) {
 	}
 }
 
+func TestFormatOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"x.bin": "binary", "x.BIN": "binary", "dir/y.bin": "binary",
+		"x.json": "json", "x": "json", "x.bin.json": "json",
+	} {
+		if got := formatOf(path); got != want {
+			t.Errorf("formatOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestConvertRoundTrip drives the convert subcommand's core both ways
+// against the committed golden quadtree fixture: json -> bin -> json must
+// reproduce the input byte-identically, and the intermediate binary must
+// answer queries like the original.
+func TestConvertRoundTrip(t *testing.T) {
+	src := filepath.Join("..", "..", "testdata", "release_quadtree.json")
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "r.bin")
+	jsonPath := filepath.Join(dir, "r.json")
+
+	slab1, n, err := convert(src, binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("convert wrote %d bytes", n)
+	}
+	slab2, _, err := convert(binPath, jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("json -> bin -> json round trip is not byte-identical")
+	}
+	for _, q := range []psd.Rect{
+		psd.NewRect(0, 0, 100, 100),
+		psd.NewRect(25, 25, 75, 75),
+		psd.NewRect(47, 47, 53, 53),
+	} {
+		if a, b := slab1.Count(q), slab2.Count(q); a != b {
+			t.Errorf("converted releases disagree on %v: %v vs %v", q, a, b)
+		}
+	}
+
+	if _, _, err := convert(filepath.Join(dir, "missing.json"), binPath); err == nil {
+		t.Error("convert of a missing file should error")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := convert(junk, binPath); err == nil {
+		t.Error("convert of a junk artifact should error")
+	}
+}
+
+// TestWriteRelease pins the -out flag's writer: both encodings open again
+// and answer like the built tree.
+func TestWriteRelease(t *testing.T) {
+	dom := psd.NewRect(0, 0, 10, 10)
+	pts := []psd.Point{{X: 1, Y: 1}, {X: 2, Y: 7}, {X: 8, Y: 3}, {X: 9, Y: 9}}
+	tree, err := psd.Build(pts, dom, psd.Options{Height: 2, Epsilon: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"r.json", "r.bin"} {
+		path := filepath.Join(dir, name)
+		n, err := writeRelease(tree, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Fatalf("%s: wrote %d bytes", name, n)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab, err := psd.OpenSlab(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q := psd.NewRect(0, 0, 5, 5)
+		if got, want := slab.Count(q), tree.Count(q); got != want {
+			t.Errorf("%s: reopened count %v, want %v", name, got, want)
+		}
+	}
+}
+
 func TestReadPoints(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "pts.csv")

@@ -108,6 +108,95 @@ func TestGoldenReleases(t *testing.T) {
 	}
 }
 
+// TestGoldenBinaryReleases pins the binary format v2 on-disk artifacts the
+// same way: one release_<kind>.bin per family, checked byte-for-byte, and
+// required to answer the fixed query set bit-identically to both the
+// builder's tree and the JSON fixture opened as a slab. Regenerate with
+// -update alongside the JSON fixtures.
+func TestGoldenBinaryReleases(t *testing.T) {
+	for _, g := range goldenKinds {
+		t.Run(g.name, func(t *testing.T) {
+			tree := goldenBuild(t, g.kind)
+			var buf bytes.Buffer
+			if err := tree.WriteBinaryRelease(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "release_"+g.name+".bin")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("binary release differs from %s (%d vs %d bytes); "+
+					"if the format change is intentional, regenerate with -update",
+					path, buf.Len(), len(golden))
+			}
+
+			// The binary fixture opens as a slab and answers exactly as the
+			// builder's tree; the JSON fixture opened as a slab must agree
+			// bit-for-bit, pinning JSON↔binary equivalence.
+			binSlab, err := OpenSlab(bytes.NewReader(golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonBytes, err := os.ReadFile(filepath.Join("testdata", "release_"+g.name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonSlab, err := OpenSlab(bytes.NewReader(jsonBytes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sealed := tree.Seal()
+			for _, q := range goldenQueries() {
+				want := tree.Count(q)
+				if got := binSlab.Count(q); got != want {
+					t.Errorf("query %v: binary slab %v, built %v", q, got, want)
+				}
+				if got := jsonSlab.Count(q); got != want {
+					t.Errorf("query %v: json slab %v, built %v", q, got, want)
+				}
+				if got := sealed.Count(q); got != want {
+					t.Errorf("query %v: sealed slab %v, built %v", q, got, want)
+				}
+			}
+
+			// Both directions of conversion are lossless: binary -> JSON
+			// matches the JSON fixture, JSON -> binary matches the binary one.
+			var toJSON bytes.Buffer
+			if err := binSlab.WriteRelease(&toJSON); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(toJSON.Bytes(), jsonBytes) {
+				t.Error("binary fixture does not convert to the JSON fixture byte-identically")
+			}
+			var toBin bytes.Buffer
+			if err := jsonSlab.WriteBinaryRelease(&toBin); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(toBin.Bytes(), golden) {
+				t.Error("JSON fixture does not convert to the binary fixture byte-identically")
+			}
+
+			// OpenRelease (the arena path) accepts the binary artifact too.
+			reopened, err := OpenRelease(bytes.NewReader(golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range goldenQueries() {
+				if got, want := reopened.Count(q), tree.Count(q); got != want {
+					t.Errorf("query %v: arena-opened binary %v, built %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
 // goldenQueryFile is the schema of testdata/golden_queries.json: the
 // quadtree fixture's fixed queries with their expected answers, consumed by
 // the cmd/psdserve end-to-end test and the CI curl check.

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Release format v2 is a little-endian binary columnar encoding of the same
+// artifact the versioned JSON (format 1) carries. It exists for the serving
+// hot path: ReadBinary decodes straight into a Slab — raw float64 columns
+// copied into place, one bitset for the published flags, no per-count
+// pointer or interface allocation — where the JSON decoder pays reflection
+// and a heap pointer per count.
+//
+// Layout (all integers and floats little-endian):
+//
+//	offset  size        field
+//	0       4           magic "PSD2"
+//	4       1           format version (2)
+//	5       1           kind (the Kind enumeration: 0 quadtree, 1 kd,
+//	                    2 kd-hybrid, 3 hilbert-r, 4 kd-cell, 5 kd-noisymean;
+//	                    frozen for v2)
+//	6       1           fanout (must be 4)
+//	7       1           height h (0..13)
+//	8       8           epsilon (float64)
+//	16      32          domain lox,loy,hix,hiy (4 × float64)
+//	48      4           node count n (uint32; must equal (4^(h+1)-1)/3)
+//	52      4           pruned count p (uint32)
+//	56      n*8 each    five columns, breadth-first: lox, loy, hix, hiy, count
+//	...     ceil(n/64)*8  published bitset (uint64 words, LSB-first)
+//	...     p uvarints  pruned node indices, delta-encoded (first index, then
+//	                    gaps), strictly ascending
+//
+// Count slots of unpublished nodes are written as zero and forced to zero on
+// read, so a decoded slab never carries garbage into LeafRegions. The
+// decoder applies the same hardening as Release.Validate before and after
+// the column reads: shape, epsilon and domain checks gate the allocation,
+// per-node checks reject non-finite or inverted rectangles and non-finite
+// published counts, and pruned indices must be in-range and ascending.
+
+// binaryMagic opens every format-v2 artifact; SniffBinary keys on it.
+var binaryMagic = [4]byte{'P', 'S', 'D', '2'}
+
+// binaryVersion is the current binary serialization version.
+const binaryVersion = 2
+
+// binaryHeaderSize is the fixed-size prefix before the columns.
+const binaryHeaderSize = 56
+
+// numKinds bounds the kind byte (the Kind enumeration is 0..numKinds-1).
+const numKinds = 6
+
+// SniffBinary reports whether the first bytes of an artifact announce the
+// binary format. JSON releases start with '{', so four bytes decide.
+func SniffBinary(prefix []byte) bool {
+	return len(prefix) >= len(binaryMagic) && [4]byte(prefix[:4]) == binaryMagic
+}
+
+// WriteBinary serializes the release in format v2. The release is validated
+// first, so a malformed in-memory artifact cannot produce undecodable bytes.
+func (r *Release) WriteBinary(w io.Writer) (int64, error) {
+	s, err := r.Slab()
+	if err != nil {
+		return 0, err
+	}
+	return s.WriteBinary(w)
+}
+
+// WriteBinary serializes the slab's release in format v2.
+func (s *Slab) WriteBinary(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	n := s.Len()
+
+	var hdr [binaryHeaderSize]byte
+	copy(hdr[0:4], binaryMagic[:])
+	hdr[4] = binaryVersion
+	hdr[5] = byte(s.kind)
+	hdr[6] = 4
+	hdr[7] = byte(s.height)
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(s.epsilon))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(s.domain.Lo.X))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(s.domain.Lo.Y))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(s.domain.Hi.X))
+	binary.LittleEndian.PutUint64(hdr[40:], math.Float64bits(s.domain.Hi.Y))
+	binary.LittleEndian.PutUint32(hdr[48:], uint32(n))
+	pruned := s.prunedIndices()
+	binary.LittleEndian.PutUint32(hdr[52:], uint32(len(pruned)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+
+	// The four bound columns are stored scalar-per-column on disk (columnar
+	// layouts align and compress well); in memory the slab packs them per
+	// node, so the writer de-interleaves. The count column writes zero for
+	// unpublished slots so the encoding is canonical (a round trip through
+	// ReadBinary re-serializes byte-identically).
+	for col := 0; col < 5; col++ {
+		var b [8]byte
+		for i := 0; i < n; i++ {
+			v := s.nodes[i][col]
+			if col == 4 && !s.usable.get(i) {
+				v = 0
+			}
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			if _, err := bw.Write(b[:]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	{
+		var b [8]byte
+		for _, word := range s.usable {
+			binary.LittleEndian.PutUint64(b[:], word)
+			if _, err := bw.Write(b[:]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	var vb [binary.MaxVarintLen64]byte
+	prev := 0
+	for i, idx := range pruned {
+		delta := idx - prev
+		if i == 0 {
+			delta = idx
+		}
+		k := binary.PutUvarint(vb[:], uint64(delta))
+		if _, err := bw.Write(vb[:k]); err != nil {
+			return cw.n, err
+		}
+		prev = idx
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// prunedIndices lists the pruned subtree roots in ascending order.
+func (s *Slab) prunedIndices() []int {
+	var out []int
+	for i := 0; i < s.Len(); i++ {
+		if s.pruned.get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReadBinary parses and validates a format-v2 release, decoding straight
+// into a query-ready Slab. The input is treated as untrusted: the header is
+// fully checked before any node-sized allocation, and every per-node check
+// of Release.Validate runs on the columns, so a successfully decoded slab
+// is structurally sound.
+func ReadBinary(r io.Reader) (*Slab, error) {
+	var hdr [binaryHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading binary release header: %w", err)
+	}
+	if !SniffBinary(hdr[:]) {
+		return nil, fmt.Errorf("core: bad magic %q in binary release", hdr[0:4])
+	}
+	if hdr[4] != binaryVersion {
+		return nil, fmt.Errorf("core: unsupported binary release version %d", hdr[4])
+	}
+	if hdr[5] >= numKinds {
+		return nil, fmt.Errorf("core: unknown kind %d in binary release", hdr[5])
+	}
+	kind := Kind(hdr[5])
+	nodes, err := checkShape(int(hdr[6]), int(hdr[7]))
+	if err != nil {
+		return nil, err
+	}
+	height := int(hdr[7])
+	epsilon := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
+	if err := checkEpsilon(epsilon); err != nil {
+		return nil, err
+	}
+	var domain [4]float64
+	for i := range domain {
+		domain[i] = math.Float64frombits(binary.LittleEndian.Uint64(hdr[16+8*i:]))
+	}
+	if err := checkDomain(domain); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(hdr[48:]); got != uint32(nodes) {
+		return nil, fmt.Errorf("core: binary release declares %d nodes for a %d-node tree", got, nodes)
+	}
+	numPruned := int(binary.LittleEndian.Uint32(hdr[52:]))
+	if numPruned < 0 || numPruned > nodes {
+		return nil, fmt.Errorf("core: binary release declares %d pruned nodes of %d", numPruned, nodes)
+	}
+
+	s := newSlab(kind, height, unflattenRect(domain), epsilon)
+	// Columns stream through a bounded scratch buffer: a worst-case tree has
+	// tens of millions of nodes, and the scratch must not double the peak.
+	const scratchBytes = 1 << 20
+	buf := make([]byte, min(8*nodes, scratchBytes))
+	readColumn := func(assign func(i int, v float64)) error {
+		for base := 0; base < nodes; {
+			b := buf[:min(len(buf), 8*(nodes-base))]
+			if _, err := io.ReadFull(r, b); err != nil {
+				return fmt.Errorf("core: reading binary release column: %w", err)
+			}
+			for i := 0; i < len(b)/8; i++ {
+				assign(base+i, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+			}
+			base += len(b) / 8
+		}
+		return nil
+	}
+	// The on-disk scalar columns interleave into the packed per-node
+	// records as they stream.
+	for col := 0; col < 5; col++ {
+		col := col
+		if err := readColumn(func(i int, v float64) { s.nodes[i][col] = v }); err != nil {
+			return nil, err
+		}
+	}
+	words := make([]byte, 8*len(s.usable))
+	if _, err := io.ReadFull(r, words); err != nil {
+		return nil, fmt.Errorf("core: reading binary release published bitset: %w", err)
+	}
+	for i := range s.usable {
+		s.usable[i] = binary.LittleEndian.Uint64(words[8*i:])
+	}
+	// Trailing bits of the last bitset word must be clear: they describe no
+	// node, and canonical encoding keeps round trips byte-identical.
+	if tail := uint(nodes) & 63; tail != 0 && len(s.usable) > 0 {
+		if s.usable[len(s.usable)-1]>>tail != 0 {
+			return nil, fmt.Errorf("core: binary release has published bits beyond node %d", nodes-1)
+		}
+	}
+
+	for i := 0; i < nodes; i++ {
+		nd := &s.nodes[i]
+		if !finiteRect([4]float64{nd[0], nd[1], nd[2], nd[3]}) {
+			return nil, fmt.Errorf("core: release node %d has non-finite rect", i)
+		}
+		if nd[0] > nd[2] || nd[1] > nd[3] {
+			return nil, fmt.Errorf("core: release node %d has inverted rect", i)
+		}
+		if s.usable.get(i) {
+			if c := nd[4]; math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("core: release node %d has non-finite count", i)
+			}
+		} else {
+			nd[4] = 0
+		}
+	}
+
+	br := byteReaderFor(r)
+	prev := -1
+	for k := 0; k < numPruned; k++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading binary release pruned list: %w", err)
+		}
+		idx := prev + int(delta)
+		if k == 0 {
+			idx = int(delta)
+		}
+		if idx <= prev || idx >= nodes {
+			return nil, fmt.Errorf("core: pruned index %d out of range", idx)
+		}
+		s.markPruned(idx)
+		prev = idx
+	}
+	s.computeEffLeaves()
+	s.finish()
+	return s, nil
+}
+
+// byteReaderFor adapts any reader for varint decoding without buffering
+// ahead (the pruned list is the trailer, so lookahead is harmless, but a
+// one-byte adapter keeps the contract obvious).
+func byteReaderFor(r io.Reader) io.ByteReader {
+	if br, ok := r.(io.ByteReader); ok {
+		return br
+	}
+	return &oneByteReader{r: r}
+}
+
+type oneByteReader struct {
+	r io.Reader
+	b [1]byte
+}
+
+func (o *oneByteReader) ReadByte() (byte, error) {
+	_, err := io.ReadFull(o.r, o.b[:])
+	return o.b[0], err
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"psd/internal/budget"
+	"psd/internal/geom"
+)
+
+// binaryBytes serializes a built PSD's release in format v2.
+func binaryBytes(t *testing.T, p *PSD) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := p.Release().WriteBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteBinary reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryRoundTrip pins the canonical-encoding property for every
+// family: decode(encode(release)) re-encodes byte-identically, and the
+// decoded slab answers exactly as the source tree.
+func TestBinaryRoundTrip(t *testing.T) {
+	dom := geom.NewRect(0, 0, 128, 64)
+	pts := randomPoints(4096, dom, 61)
+	for _, cfg := range slabTestConfigs() {
+		p, err := Build(pts, dom, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := binaryBytes(t, p)
+		slab, err := ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%v: ReadBinary: %v", cfg.Kind, err)
+		}
+		var again bytes.Buffer
+		if _, err := slab.WriteBinary(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, again.Bytes()) {
+			t.Errorf("%v: binary round trip differs (%d vs %d bytes)",
+				cfg.Kind, len(raw), again.Len())
+		}
+		for _, q := range slabTestQueries(dom) {
+			if got, want := slab.Query(q), p.Query(q); got != want {
+				t.Errorf("%v: binary slab Query(%v) = %v, want %v", cfg.Kind, q, got, want)
+			}
+		}
+		// The JSON and binary encodings carry the same artifact: converting
+		// the decoded slab back to JSON matches the direct JSON serialization.
+		var direct, viaBinary bytes.Buffer
+		if _, err := p.Release().WriteTo(&direct); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := slab.Release().WriteTo(&viaBinary); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(direct.Bytes(), viaBinary.Bytes()) {
+			t.Errorf("%v: binary->JSON conversion differs from direct JSON", cfg.Kind)
+		}
+	}
+}
+
+// TestBinarySmallerThanJSON sanity-checks the size motivation: the columnar
+// encoding beats the JSON text encoding on every fixture family.
+func TestBinarySmallerThanJSON(t *testing.T) {
+	dom := geom.NewRect(0, 0, 100, 100)
+	pts := randomPoints(2048, dom, 71)
+	p, err := Build(pts, dom, Config{Kind: Quadtree, Height: 5, Epsilon: 1, Seed: 72, PostProcess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if _, err := p.Release().WriteTo(&js); err != nil {
+		t.Fatal(err)
+	}
+	bin := binaryBytes(t, p)
+	if len(bin) >= js.Len() {
+		t.Errorf("binary release is %d bytes, JSON %d — expected smaller", len(bin), js.Len())
+	}
+}
+
+// corrupt returns a copy of raw with one byte range overwritten.
+func corrupt(raw []byte, off int, b ...byte) []byte {
+	out := append([]byte(nil), raw...)
+	copy(out[off:], b)
+	return out
+}
+
+// putF64 little-endian encodes v at off.
+func putF64(raw []byte, off int, v float64) []byte {
+	out := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(out[off:], math.Float64bits(v))
+	return out
+}
+
+// TestReadBinaryRejectsMalformed walks the hardening checklist: every
+// corruption class Release.Validate rejects on the JSON path must be
+// rejected by the binary decoder too, without panicking.
+func TestReadBinaryRejectsMalformed(t *testing.T) {
+	dom := geom.NewRect(0, 0, 64, 64)
+	pts := randomPoints(1024, dom, 81)
+	p, err := Build(pts, dom, Config{Kind: Hybrid, Height: 3, Epsilon: 1, Seed: 82, PostProcess: true, PruneThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := binaryBytes(t, p)
+	nodes := 85 // (4^4-1)/3 for height 3
+
+	cases := map[string][]byte{
+		"empty":               {},
+		"truncated header":    raw[:40],
+		"bad magic":           corrupt(raw, 0, 'J', 'S', 'O', 'N'),
+		"bad version":         corrupt(raw, 4, 9),
+		"bad kind":            corrupt(raw, 5, 200),
+		"bad fanout":          corrupt(raw, 6, 3),
+		"huge height":         corrupt(raw, 7, 99),
+		"negative epsilon":    putF64(raw, 8, -1),
+		"NaN epsilon":         putF64(raw, 8, math.NaN()),
+		"NaN domain":          putF64(raw, 16, math.NaN()),
+		"inverted domain":     putF64(raw, 16, 1e9),
+		"node count mismatch": corrupt(raw, 48, 1, 0, 0, 0),
+		"pruned overflow":     corrupt(raw, 52, 0xff, 0xff, 0xff, 0x7f),
+		"truncated columns":   raw[:len(raw)/2],
+		"NaN rect":            putF64(raw, binaryHeaderSize, math.NaN()),
+		// lox of node 0 (the root/domain rect) pushed past its hix.
+		"inverted rect": putF64(raw, binaryHeaderSize, 1e12),
+		// First count made non-finite (root is published on these configs).
+		"infinite count": putF64(raw, binaryHeaderSize+4*8*nodes, math.Inf(1)),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadBinary accepted malformed input", name)
+		}
+	}
+
+	// Published bits beyond the node count break canonical encoding.
+	bitsetOff := binaryHeaderSize + 5*8*nodes
+	tail := corrupt(raw, bitsetOff+8*(nodes/64), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadBinary(bytes.NewReader(tail)); err == nil {
+		t.Error("ReadBinary accepted published bits beyond the last node")
+	}
+
+	// A truncated pruned trailer must error rather than hang or succeed.
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		// Only fails when the fixture actually pruned something; the config
+		// above prunes aggressively enough that the trailer is non-empty.
+		t.Error("ReadBinary accepted a truncated pruned trailer")
+	}
+}
+
+// TestReadBinaryZeroesUnpublishedCounts pins that garbage in an unpublished
+// count slot cannot leak into LeafRegions: the decoder forces those slots
+// to zero, matching the JSON path's nil counts.
+func TestReadBinaryZeroesUnpublishedCounts(t *testing.T) {
+	dom := geom.NewRect(0, 0, 64, 64)
+	pts := randomPoints(512, dom, 91)
+	// Leaf-only budget leaves the internal levels unpublished.
+	p, err := Build(pts, dom, Config{Kind: Quadtree, Height: 2, Epsilon: 1, Seed: 92, Strategy: budget.LeafOnly{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := binaryBytes(t, p)
+	// Node 0 (the root) is unpublished under leaf-only budgets; poison its
+	// count slot.
+	poisoned := putF64(raw, binaryHeaderSize+4*8*21, 12345.0)
+	slab, err := ReadBinary(bytes.NewReader(poisoned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if _, err := slab.WriteBinary(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Error("decoder did not canonicalize a poisoned unpublished count slot")
+	}
+	for _, q := range slabTestQueries(dom) {
+		if got, want := slab.Query(q), p.Query(q); got != want {
+			t.Errorf("poisoned slab Query(%v) = %v, want %v", q, got, want)
+		}
+	}
+}

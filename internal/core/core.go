@@ -29,6 +29,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -261,6 +262,8 @@ type PSD struct {
 	// medianCalls accumulates across build workers; Stats() reads the
 	// settled value.
 	medianCalls atomic.Int64
+	// stacks pools query DFS stacks so single queries are allocation-free.
+	stacks sync.Pool
 }
 
 // Kind returns the decomposition family.

@@ -10,9 +10,10 @@ import (
 )
 
 // FuzzReadRelease feeds arbitrary (and mutated-valid) bytes through the
-// full untrusted-artifact path the server uses: parse, validate, open,
-// query. Whatever the input, the pipeline must never panic, and anything
-// that opens must answer with finite counts.
+// full untrusted-artifact paths the server uses — the JSON decoder and the
+// format-v2 binary decoder: parse, validate, open, query. Whatever the
+// input, neither pipeline may panic, and anything that opens must answer
+// with finite counts through both the arena and the slab read path.
 func FuzzReadRelease(f *testing.F) {
 	dom := geom.NewRect(0, 0, 64, 64)
 	pts := randomPoints(512, dom, 31)
@@ -41,12 +42,45 @@ func FuzzReadRelease(f *testing.F) {
 		} {
 			f.Add(mut)
 		}
+		// The same artifact in format v2 seeds the binary decoder, with the
+		// matching corruption classes: header fields, truncation, bit flips.
+		var bin bytes.Buffer
+		if _, err := p.Release().WriteBinary(&bin); err != nil {
+			f.Fatal(err)
+		}
+		vb := bin.Bytes()
+		f.Add(vb)
+		for _, mut := range [][]byte{
+			append([]byte{'P', 'S', 'D', '2', 9}, vb[5:]...), // bad version
+			append([]byte{'P', 'S', 'D', '2', 2, 77}, vb[6:]...), // bad kind
+			vb[:len(vb)/2],
+			vb[:binaryHeaderSize],
+			append(append([]byte{}, vb[:40]...), bytes.Repeat([]byte{0xff}, len(vb)-40)...),
+		} {
+			f.Add(mut)
+		}
 	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"version":1,"kind":"quadtree","fanout":4,"height":0,` +
 		`"domain":[0,0,1,1],"rects":[[0,0,1,1]],"counts":[null]}`))
+	f.Add([]byte("PSD2"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Binary decode path: any input that decodes must be a sound slab.
+		if slab, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			rects, counts := slab.LeafRegions()
+			checkOpened(t, slab.Query(slab.Domain()), rects, counts)
+			// Canonical encoding: decode(encode(decode(x))) is stable.
+			var out bytes.Buffer
+			if _, err := slab.WriteBinary(&out); err != nil {
+				t.Fatalf("re-encoding a decoded binary release failed: %v", err)
+			}
+			if _, err := ReadBinary(bytes.NewReader(out.Bytes())); err != nil {
+				t.Fatalf("re-encoded binary release does not decode: %v", err)
+			}
+		}
+
+		// JSON decode path, through both the arena and the slab.
 		rel, err := ReadRelease(bytes.NewReader(data))
 		if err != nil {
 			return // rejected: fine, as long as we didn't panic
@@ -55,19 +89,33 @@ func FuzzReadRelease(f *testing.F) {
 		if err != nil {
 			t.Fatalf("ReadRelease validated but OpenRelease failed: %v", err)
 		}
-		if c := p.Query(p.Domain()); math.IsNaN(c) || math.IsInf(c, 0) {
-			t.Fatalf("opened release answers non-finite domain count %v", c)
-		}
 		rects, counts := p.LeafRegions()
-		if len(rects) != len(counts) {
-			t.Fatalf("leaf regions: %d rects, %d counts", len(rects), len(counts))
+		checkOpened(t, p.Query(p.Domain()), rects, counts)
+		slab, err := rel.Slab()
+		if err != nil {
+			t.Fatalf("ReadRelease validated but Slab failed: %v", err)
 		}
-		for _, c := range counts {
-			if math.IsNaN(c) || math.IsInf(c, 0) {
-				t.Fatalf("leaf region count %v not finite", c)
-			}
+		if got, want := slab.Query(slab.Domain()), p.Query(p.Domain()); got != want {
+			t.Fatalf("slab domain count %v, arena %v", got, want)
 		}
 	})
+}
+
+// checkOpened asserts the invariants every successfully opened artifact
+// must satisfy regardless of format or read path.
+func checkOpened(t *testing.T, domainCount float64, rects []geom.Rect, counts []float64) {
+	t.Helper()
+	if math.IsNaN(domainCount) || math.IsInf(domainCount, 0) {
+		t.Fatalf("opened release answers non-finite domain count %v", domainCount)
+	}
+	if len(rects) != len(counts) {
+		t.Fatalf("leaf regions: %d rects, %d counts", len(rects), len(counts))
+	}
+	for _, c := range counts {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("leaf region count %v not finite", c)
+		}
+	}
 }
 
 // fuzzTrees builds the fixed post-processed trees FuzzCount checks

@@ -23,9 +23,17 @@ type QueryStats struct {
 // for. int32 suffices: tree.MaxNodes < 2^31.
 type queryStack []int32
 
-func (p *PSD) newQueryStack() queryStack {
-	return make(queryStack, 0, 3*p.arena.Height()+1)
+// getQueryStack borrows a stack from the PSD's pool (putQueryStack returns
+// it), so single queries allocate nothing after the pool warms up.
+func (p *PSD) getQueryStack() *queryStack {
+	if v := p.stacks.Get(); v != nil {
+		return v.(*queryStack)
+	}
+	st := make(queryStack, 0, 3*p.arena.Height()+1)
+	return &st
 }
+
+func (p *PSD) putQueryStack(st *queryStack) { p.stacks.Put(st) }
 
 // Query estimates the number of data points inside q using the canonical
 // range-query method of Section 4.1: starting from the root, nodes fully
@@ -34,15 +42,18 @@ func (p *PSD) newQueryStack() queryStack {
 // contribute under the uniformity assumption.
 func (p *PSD) Query(q geom.Rect) float64 {
 	var st QueryStats
-	stack := p.newQueryStack()
-	return p.queryIter(q, &stack, &st)
+	stack := p.getQueryStack()
+	ans := p.queryIter(q, stack, &st)
+	p.putQueryStack(stack)
+	return ans
 }
 
 // QueryWithStats is Query plus diagnostics.
 func (p *PSD) QueryWithStats(q geom.Rect) (float64, QueryStats) {
 	var st QueryStats
-	stack := p.newQueryStack()
-	ans := p.queryIter(q, &stack, &st)
+	stack := p.getQueryStack()
+	ans := p.queryIter(q, stack, &st)
+	p.putQueryStack(stack)
 	return ans, st
 }
 
@@ -59,11 +70,12 @@ func (p *PSD) CountAll(qs []geom.Rect) []float64 {
 func (p *PSD) CountAllWorkers(qs []geom.Rect, workers int) []float64 {
 	out := make([]float64, len(qs))
 	par.For(par.Workers(workers), 0, len(qs), 8, func(lo, hi int) {
-		stack := p.newQueryStack()
+		stack := p.getQueryStack()
 		var st QueryStats
 		for i := lo; i < hi; i++ {
-			out[i] = p.queryIter(qs[i], &stack, &st)
+			out[i] = p.queryIter(qs[i], stack, &st)
 		}
+		p.putQueryStack(stack)
 	})
 	return out
 }
@@ -147,8 +159,8 @@ func (p *PSD) LeafRegions() ([]geom.Rect, []float64) {
 	}
 	rects := make([]geom.Rect, 0, capHint)
 	counts := make([]float64, 0, capHint)
-	stack := p.newQueryStack()
-	stack = append(stack, 0)
+	stackp := p.getQueryStack()
+	stack := append((*stackp)[:0], 0)
 	for len(stack) > 0 {
 		idx := int(stack[len(stack)-1])
 		stack = stack[:len(stack)-1]
@@ -162,5 +174,7 @@ func (p *PSD) LeafRegions() ([]geom.Rect, []float64) {
 		// Reverse push keeps the historical left-to-right region order.
 		stack = append(stack, int32(cs+3), int32(cs+2), int32(cs+1), int32(cs))
 	}
+	*stackp = stack
+	p.putQueryStack(stackp)
 	return rects, counts
 }

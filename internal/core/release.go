@@ -125,31 +125,19 @@ func (r *Release) Validate() error {
 	if _, err := parseKind(r.Kind); err != nil {
 		return err
 	}
-	if r.Fanout != 4 {
-		return fmt.Errorf("core: unsupported fanout %d", r.Fanout)
-	}
-	if r.Height < 0 || r.Height > maxReleaseHeight {
-		return fmt.Errorf("core: release height %d outside [0,%d]", r.Height, maxReleaseHeight)
-	}
-	nodes := 0
-	for d, level := 0, 1; d <= r.Height; d, level = d+1, level*r.Fanout {
-		nodes += level
-		if nodes > tree.MaxNodes {
-			return fmt.Errorf("core: fanout %d height %d exceeds %d nodes", r.Fanout, r.Height, tree.MaxNodes)
-		}
+	nodes, err := checkShape(r.Fanout, r.Height)
+	if err != nil {
+		return err
 	}
 	if len(r.Rects) != nodes || len(r.Counts) != nodes {
 		return fmt.Errorf("core: release has %d rects / %d counts for a %d-node tree",
 			len(r.Rects), len(r.Counts), nodes)
 	}
-	if math.IsNaN(r.Epsilon) || math.IsInf(r.Epsilon, 0) || r.Epsilon < 0 {
-		return fmt.Errorf("core: invalid release epsilon %v", r.Epsilon)
+	if err := checkEpsilon(r.Epsilon); err != nil {
+		return err
 	}
-	if !finiteRect(r.Domain) {
-		return fmt.Errorf("core: release domain %v is not finite", r.Domain)
-	}
-	if d := unflattenRect(r.Domain); !d.Valid() || d.Empty() {
-		return fmt.Errorf("core: release domain %v is inverted or empty", r.Domain)
+	if err := checkDomain(r.Domain); err != nil {
+		return err
 	}
 	for i, fr := range r.Rects {
 		if !finiteRect(fr) {
@@ -186,6 +174,45 @@ func finiteRect(v [4]float64) bool {
 		}
 	}
 	return true
+}
+
+// checkShape validates the declared fanout/height and returns the node
+// count of the complete tree. Shared by the JSON and binary (format v2)
+// decoders; the checks run before any node-sized allocation.
+func checkShape(fanout, height int) (int, error) {
+	if fanout != 4 {
+		return 0, fmt.Errorf("core: unsupported fanout %d", fanout)
+	}
+	if height < 0 || height > maxReleaseHeight {
+		return 0, fmt.Errorf("core: release height %d outside [0,%d]", height, maxReleaseHeight)
+	}
+	nodes := 0
+	for d, level := 0, 1; d <= height; d, level = d+1, level*fanout {
+		nodes += level
+		if nodes > tree.MaxNodes {
+			return 0, fmt.Errorf("core: fanout %d height %d exceeds %d nodes", fanout, height, tree.MaxNodes)
+		}
+	}
+	return nodes, nil
+}
+
+// checkEpsilon validates a declared privacy budget.
+func checkEpsilon(eps float64) error {
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+		return fmt.Errorf("core: invalid release epsilon %v", eps)
+	}
+	return nil
+}
+
+// checkDomain validates a declared domain rectangle.
+func checkDomain(v [4]float64) error {
+	if !finiteRect(v) {
+		return fmt.Errorf("core: release domain %v is not finite", v)
+	}
+	if d := unflattenRect(v); !d.Valid() || d.Empty() {
+		return fmt.Errorf("core: release domain %v is inverted or empty", v)
+	}
+	return nil
 }
 
 // OpenRelease reconstructs a query-only PSD from a release. The resulting

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"psd"
+)
+
+// BenchmarkServeCount measures Release.Count — the full serving hot path
+// under the HTTP handler (cache lookup, slab query, stats) — with the
+// cache disabled (every call runs the query engine) and with a warm cache.
+// Allocs are the headline: the acceptance bar is 0 allocs/op for both.
+func BenchmarkServeCount(b *testing.B) {
+	tree := buildTree(b, 77)
+	var artifact bytes.Buffer
+	if err := tree.WriteBinaryRelease(&artifact); err != nil {
+		b.Fatal(err)
+	}
+	q := psd.NewRect(10, 20, 55, 70)
+
+	for _, mode := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"nocache", 0},
+		{"cachehit", 1024},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			reg := NewRegistry(mode.cacheSize)
+			rel, err := reg.Register("bench", "bench", bytes.NewReader(artifact.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rel.Count(q) // warm the cache (and the stack pool)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel.Count(q)
+			}
+		})
+	}
+}
+
+// BenchmarkRegister measures artifact open into the registry — the hot
+// reload path — for both encodings of the same release.
+func BenchmarkRegister(b *testing.B) {
+	tree := buildTree(b, 78)
+	var jsonBuf, binBuf bytes.Buffer
+	if err := tree.WriteRelease(&jsonBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := tree.WriteBinaryRelease(&binBuf); err != nil {
+		b.Fatal(err)
+	}
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{
+		{"json", jsonBuf.Bytes()},
+		{"binary", binBuf.Bytes()},
+	} {
+		b.Run(enc.name, func(b *testing.B) {
+			reg := NewRegistry(0)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(enc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Register("bench", "bench", bytes.NewReader(enc.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

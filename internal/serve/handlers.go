@@ -39,6 +39,7 @@ const DefaultMaxBatch = 65536
 //	GET    /healthz                      liveness + release count
 //	GET    /v1/releases                  list releases and metadata
 //	POST   /v1/releases/{name}           register/replace a release from the body
+//	                                     (JSON or binary v2, sniffed)
 //	DELETE /v1/releases/{name}           unregister
 //	GET    /v1/releases/{name}/count     one query: ?rect=lox,loy,hix,hiy
 //	POST   /v1/releases/{name}/batch     many queries: {"rects":[[4]...]}
@@ -117,12 +118,12 @@ type releaseInfo struct {
 }
 
 func infoOf(rel *Release) releaseInfo {
-	d := rel.Tree.Domain()
+	d := rel.Slab.Domain()
 	return releaseInfo{
 		Name:       rel.Name,
-		Kind:       rel.Tree.Kind(),
-		Height:     rel.Tree.Height(),
-		Epsilon:    rel.Tree.PrivacyCost(),
+		Kind:       rel.Slab.Kind(),
+		Height:     rel.Slab.Height(),
+		Epsilon:    rel.Slab.PrivacyCost(),
 		Domain:     [4]float64{d.Lo.X, d.Lo.Y, d.Hi.X, d.Hi.Y},
 		NumRegions: rel.NumRegions,
 		Bytes:      rel.Bytes,
@@ -264,7 +265,7 @@ func (a *API) handleRegions(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rects, counts := rel.Tree.Regions()
+	rects, counts := rel.Slab.Regions()
 	flat := make([][4]float64, len(rects))
 	for i, rc := range rects {
 		flat[i] = [4]float64{rc.Lo.X, rc.Lo.Y, rc.Hi.X, rc.Hi.Y}

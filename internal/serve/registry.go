@@ -38,24 +38,25 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Release is one opened release being served: an immutable query-only tree
+// Release is one opened release being served: an immutable query-only slab
 // plus its answer cache and serving statistics. Fields set at registration
 // never change; a hot reload installs a whole new Release, so goroutines
 // holding a pointer to the old one keep answering against a consistent
-// tree.
+// slab.
 type Release struct {
 	// Name is the registry key.
 	Name string
-	// Tree is the reopened query-only decomposition.
-	Tree *psd.Tree
+	// Slab is the reopened flat query-only decomposition. The serving layer
+	// works exclusively on slabs: artifacts in either format (JSON or binary
+	// v2) decode into the same columnar read path.
+	Slab *psd.Slab
 	// Source says where the artifact came from: a file path or "api".
 	Source string
 	// Bytes is the serialized artifact size.
 	Bytes int64
 	// LoadedAt is the registration time.
 	LoadedAt time.Time
-	// NumRegions is the effective leaf-region count, computed once (the
-	// underlying call materializes every region).
+	// NumRegions is the effective leaf-region count.
 	NumRegions int
 
 	cache *Cache
@@ -70,14 +71,14 @@ func (r *Release) Count(q psd.Rect) (val float64, cached bool) {
 		r.stats.record(1, 1, time.Since(start))
 		return v, true
 	}
-	v := r.Tree.Count(q)
+	v := r.Slab.Count(q)
 	r.cache.Put(k, v)
 	r.stats.record(1, 0, time.Since(start))
 	return v, false
 }
 
 // CountBatch answers a batch of queries: cached answers are filled
-// directly, the misses go through the tree's batch worker pool in one call,
+// directly, the misses go through the slab's batch worker pool in one call,
 // and every fresh answer is inserted into the cache. Answers come back in
 // input order and equal what Count would return per rectangle.
 func (r *Release) CountBatch(qs []psd.Rect) (vals []float64, hits int) {
@@ -96,7 +97,7 @@ func (r *Release) CountBatch(qs []psd.Rect) (vals []float64, hits int) {
 		missQs = append(missQs, q)
 	}
 	if len(missQs) > 0 {
-		fresh := r.Tree.CountAll(missQs)
+		fresh := r.Slab.CountAll(missQs)
 		for j, i := range missIdx {
 			vals[i] = fresh[j]
 			q := missQs[j]
@@ -188,17 +189,17 @@ func (g *Registry) Register(name, source string, r io.Reader) (*Release, error) 
 		return nil, err
 	}
 	cr := &countingReader{r: r}
-	tree, err := psd.OpenRelease(cr)
+	slab, err := psd.OpenSlab(cr)
 	if err != nil {
 		return nil, err
 	}
 	rel := &Release{
 		Name:       name,
-		Tree:       tree,
+		Slab:       slab,
 		Source:     source,
 		Bytes:      cr.n,
 		LoadedAt:   time.Now(),
-		NumRegions: tree.NumRegions(),
+		NumRegions: slab.NumRegions(),
 		cache:      NewCache(g.cacheSize),
 	}
 	g.mu.Lock()
@@ -240,16 +241,33 @@ func (g *Registry) LoadFile(name, path string) (*Release, error) {
 	return rel, nil
 }
 
-// ScanDir loads every *.json artifact in dir, naming each release after its
-// file (minus the extension). Files whose size and mtime are unchanged
-// since the last scan are skipped, preserving their warm caches and stats;
-// changed or new files are (re)loaded with an atomic swap. It returns the
-// names loaded and skipped this scan; per-file load errors are collected
-// rather than aborting the scan, so one bad artifact can't block the rest.
+// ScanDir loads every *.json and *.bin artifact in dir, naming each release
+// after its file (minus the extension); JSON and binary-v2 artifacts are
+// equally welcome, exactly as in the upload endpoint. Files whose size and
+// mtime are unchanged since the last scan are skipped, preserving their
+// warm caches and stats; changed or new files are (re)loaded with an atomic
+// swap. When x.json and x.bin both exist, only x.json is considered (one
+// file per name keeps the unchanged-file skip meaningful — alternating
+// loads would wipe the warm cache on every rescan). It returns the names
+// loaded and skipped this scan; per-file load errors are collected rather
+// than aborting the scan, so one bad artifact can't block the rest.
 func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
-	glob, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	jsons, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return nil, nil, err
+	}
+	bins, err := filepath.Glob(filepath.Join(dir, "*.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	// One path per name, JSON preferred on a stem collision.
+	byName := make(map[string]string, len(jsons)+len(bins))
+	for _, path := range append(bins, jsons...) {
+		byName[strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))] = path
+	}
+	glob := make([]string, 0, len(byName))
+	for _, path := range byName {
+		glob = append(glob, path)
 	}
 	sort.Strings(glob)
 	var errs []string
@@ -259,7 +277,7 @@ func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
 			errs = append(errs, err.Error())
 			continue
 		}
-		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		st := fileState{size: info.Size(), modTime: info.ModTime()}
 		g.mu.RLock()
 		prev, known := g.files[path]

@@ -16,7 +16,7 @@ import (
 )
 
 // buildTree constructs a small deterministic tree for serving tests.
-func buildTree(t *testing.T, seed int64) *psd.Tree {
+func buildTree(t testing.TB, seed int64) *psd.Tree {
 	t.Helper()
 	dom := psd.NewRect(0, 0, 100, 100)
 	pts := make([]psd.Point, 0, 2000)

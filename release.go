@@ -1,25 +1,75 @@
 package psd
 
 import (
+	"bufio"
 	"io"
 
 	"psd/internal/core"
 )
 
 // WriteRelease serializes the tree's private release — the node rectangles
-// and released counts, nothing else — as versioned JSON. The artifact is
-// safe to publish: it is exactly the ε-differentially private output of the
-// build, and contains no exact counts or raw points.
+// and released counts, nothing else — as versioned JSON (format 1). The
+// artifact is safe to publish: it is exactly the ε-differentially private
+// output of the build, and contains no exact counts or raw points.
 func (t *Tree) WriteRelease(w io.Writer) error {
 	_, err := t.inner.Release().WriteTo(w)
 	return err
 }
 
-// OpenRelease reconstructs a query-only Tree from a serialized release.
-// The result answers Count and Regions exactly as the original tree did;
-// it requires no access to the original data.
+// WriteBinaryRelease serializes the tree's private release in the binary
+// columnar format v2: the same artifact as WriteRelease, encoded as raw
+// little-endian float64 columns that OpenSlab decodes straight into the
+// serving layout with no per-count allocation. Use it for artifacts a
+// server will (re)load; use JSON where a human or another toolchain reads
+// the release.
+func (t *Tree) WriteBinaryRelease(w io.Writer) error {
+	_, err := t.inner.Release().WriteBinary(w)
+	return err
+}
+
+// OpenSlab reconstructs the flat serving form of a serialized release,
+// accepting either format — versioned JSON (format 1) or binary columnar
+// (format 2), distinguished by the leading magic bytes. This is the path
+// cmd/psdserve loads artifacts through: a binary artifact decodes straight
+// into the slab columns.
+func OpenSlab(r io.Reader) (*Slab, error) {
+	inner, err := openSlab(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Slab{inner: inner}, nil
+}
+
+func openSlab(r io.Reader) (*core.Slab, error) {
+	br := bufio.NewReader(r)
+	prefix, _ := br.Peek(4)
+	if core.SniffBinary(prefix) {
+		return core.ReadBinary(br)
+	}
+	// Anything else (including too-short input) goes to the JSON reader,
+	// which reports the parse error.
+	return core.ReadSlab(br)
+}
+
+// OpenRelease reconstructs a query-only Tree from a serialized release in
+// either format (see OpenSlab). The result answers Count and Regions
+// exactly as the original tree did; it requires no access to the original
+// data. Servers should prefer OpenSlab, whose flat layout is cheaper to
+// load and query.
 func OpenRelease(r io.Reader) (*Tree, error) {
-	rel, err := core.ReadRelease(r)
+	br := bufio.NewReader(r)
+	if prefix, err := br.Peek(4); err == nil && core.SniffBinary(prefix) {
+		slab, err := core.ReadBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.OpenRelease(slab.Release())
+		if err != nil {
+			return nil, err
+		}
+		return &Tree{inner: p}, nil
+	}
+	rel, err := core.ReadRelease(br)
 	if err != nil {
 		return nil, err
 	}

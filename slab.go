@@ -1,0 +1,68 @@
+package psd
+
+import (
+	"io"
+
+	"psd/internal/core"
+)
+
+// Slab is the flat, read-only serving form of a decomposition: the released
+// rectangles and counts laid out as contiguous columns
+// (structure-of-arrays), which is what the query hot path actually reads.
+// Build once (or open a published release), then answer unlimited range
+// queries — the paper's publish-then-serve split (Section 4.1) with the
+// serving side stripped to the minimum bytes per node.
+//
+// A Slab answers Count, CountAll and Regions bit-identically to the Tree or
+// release it came from, is immutable, and is safe for concurrent use.
+// Single queries are allocation-free.
+type Slab struct {
+	inner *core.Slab
+}
+
+// Seal materializes the flat read path of a built tree. The tree remains
+// usable; the slab is what a server should hold onto.
+func (t *Tree) Seal() *Slab { return &Slab{inner: t.inner.Seal()} }
+
+// Count estimates the number of data points inside q, exactly as
+// Tree.Count does on the tree this slab was sealed or opened from.
+func (s *Slab) Count(q Rect) float64 { return s.inner.Query(q) }
+
+// CountAll answers a batch of range queries with a worker pool (one worker
+// per available core), returning answers in input order.
+func (s *Slab) CountAll(qs []Rect) []float64 { return s.inner.CountAll(qs) }
+
+// Regions returns the effective leaf regions of the release and their
+// estimated counts — a flat histogram view of the decomposition.
+func (s *Slab) Regions() ([]Rect, []float64) { return s.inner.LeafRegions() }
+
+// NumRegions returns the number of effective leaf regions without
+// materializing them.
+func (s *Slab) NumRegions() int { return s.inner.NumRegions() }
+
+// PrivacyCost returns the total ε the release consumed.
+func (s *Slab) PrivacyCost() float64 { return s.inner.PrivacyCost() }
+
+// Height returns the tree height.
+func (s *Slab) Height() int { return s.inner.Height() }
+
+// Kind returns the decomposition family name.
+func (s *Slab) Kind() string { return s.inner.Kind().String() }
+
+// Domain returns the released domain.
+func (s *Slab) Domain() Rect { return s.inner.Domain() }
+
+// WriteRelease serializes the slab's release as versioned JSON (format 1),
+// byte-identical to what the originating tree would write.
+func (s *Slab) WriteRelease(w io.Writer) error {
+	_, err := s.inner.Release().WriteTo(w)
+	return err
+}
+
+// WriteBinaryRelease serializes the slab's release in the binary columnar
+// format v2 — the compact encoding OpenSlab decodes with no per-count
+// allocation. See the README's "Release format v2" section for the layout.
+func (s *Slab) WriteBinaryRelease(w io.Writer) error {
+	_, err := s.inner.WriteBinary(w)
+	return err
+}
