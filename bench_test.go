@@ -377,6 +377,57 @@ func BenchmarkCountAll(b *testing.B) {
 	}
 }
 
+// BenchmarkCountBatch measures the node-major batch engine across the
+// kind × batch-size × parallelism axes, against the same 10%×10% workload
+// BenchmarkCountAll answers one DFS at a time — the two report the same
+// queries/sec metric, so the node-major speedup reads directly off the
+// pair. Answers are bit-identical to the per-query path (pinned by
+// TestCountBatchMatchesPerQuery and FuzzCountBatch); allocs/op is the
+// steady-state bar, 0 at par=1.
+func BenchmarkCountBatch(b *testing.B) {
+	env := quickEnv(b)
+	qs, err := env.Queries(workload.QueryShape{W: 10, H: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kinds := []struct {
+		name string
+		kind Kind
+		h    int
+	}{
+		{"quad-h10", QuadtreeKind, 10},
+		{"kd-h8", KDTree, 8},
+	}
+	for _, k := range kinds {
+		tree, err := Build(env.Data.Points, env.Data.Domain, Options{
+			Kind: k.kind, Height: k.h, Epsilon: 0.5, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slab := tree.Seal()
+		for _, size := range []int{256, 1024, 4096} {
+			batch := make([]Rect, 0, size)
+			for len(batch) < size {
+				batch = append(batch, qs.Rects...)
+			}
+			batch = batch[:size]
+			out := make([]float64, size)
+			for _, par := range BenchParallelisms() {
+				b.Run(fmt.Sprintf("%s/n=%d/par=%d", k.name, size, par), func(b *testing.B) {
+					slab.inner.CountBatchInto(out, batch, par) // warm the pools
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						slab.inner.CountBatchInto(out, batch, par)
+					}
+					b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkQuery measures single range-query latency on both read engines,
 // for a small (1%×1%) and a large (most-of-the-domain) rectangle. Allocs
 // are reported because the acceptance bar is zero: single queries must not

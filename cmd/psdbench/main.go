@@ -23,9 +23,11 @@
 //	        trajectory is machine-readable across commits
 //	query-bench
 //	        query-side hot paths: single query and batch CountAll on the
-//	        arena vs the flat slab engine, release open time for the JSON
-//	        vs binary encoding, and the allocation-free serve.Count path,
-//	        written as JSON (-queryout, default BENCH_query.json)
+//	        arena vs the flat slab engine, the node-major batch engine vs
+//	        the per-query loop (batch 256/1024/4096), release open time
+//	        for the JSON vs binary encoding, and the allocation-free
+//	        serve.Count path, written as JSON (-queryout, default
+//	        BENCH_query.json)
 //	serve-bench
 //	        HTTP serving load generator: queries/sec and cache hit rate
 //	        through the psdserve handler stack, written as JSON
@@ -34,9 +36,16 @@
 //
 // Flags:
 //
-//	-paper     run at full paper scale (1.63M points, 600 queries/shape);
-//	           the default is a 10x reduced quick scale
-//	-seed N    override the experiment seed
+//	-paper         run at full paper scale (1.63M points, 600 queries/shape);
+//	               the default is a 10x reduced quick scale
+//	-seed N        override the experiment seed
+//	-cpuprofile F  write a pprof CPU profile of the run to F
+//	-memprofile F  write a pprof heap profile (after the run) to F
+//
+// The profile flags exist so performance PRs can attach pprof evidence for
+// any experiment, e.g.:
+//
+//	psdbench -cpuprofile cpu.out query-bench && go tool pprof cpu.out
 //
 // The PSD_PAPER_SCALE=1 environment variable is equivalent to -paper.
 package main
@@ -45,6 +54,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,6 +76,10 @@ func main() {
 		"directory holding the golden release fixtures (query-bench open rows)")
 	serveOut := flag.String("serveout", "BENCH_serve.json",
 		"output path for the serve-bench experiment's JSON report")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "",
+		"write a pprof heap profile (captured after the run) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: psdbench [flags] <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|grid|ablate|bench|query-bench|serve-bench|all>\n")
 		flag.PrintDefaults()
@@ -84,8 +99,44 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	if err := run(which, scale, *paper, *benchOut, *queryOut, *testdata, *serveOut); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "psdbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(which, scale, *paper, *benchOut, *queryOut, *testdata, *serveOut)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	memErr := error(nil)
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC() // settle the heap so the profile shows live data
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		memErr = merr
+	}
+	// Report the experiment's own error first — it is the interesting one —
+	// then any profile-writing failure; exit non-zero on either.
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdbench:", err)
+	}
+	if memErr != nil {
+		fmt.Fprintln(os.Stderr, "psdbench: memprofile:", memErr)
+	}
+	if err != nil || memErr != nil {
 		os.Exit(1)
 	}
 }

@@ -23,12 +23,12 @@ import (
 // and the flat slab) and both release encodings (JSON format 1 and binary
 // format v2), so the two tentpole speedups are pinned as committed numbers.
 type queryReport struct {
-	Schema    int    `json:"schema"`
-	GoVersion string `json:"go_version"`
-	CPUs      int    `json:"cpus"`
-	Scale     string `json:"scale"`
-	Points    int    `json:"points"`
-	UnixTime  int64  `json:"unix_time"`
+	Schema    int        `json:"schema"`
+	GoVersion string     `json:"go_version"`
+	CPUs      int        `json:"cpus"`
+	Scale     string     `json:"scale"`
+	Points    int        `json:"points"`
+	UnixTime  int64      `json:"unix_time"`
 	Rows      []queryRow `json:"rows"`
 }
 
@@ -36,10 +36,12 @@ type queryReport struct {
 type queryRow struct {
 	// Name is "<op>/<case>/<engine>[/par=<n>]".
 	Name string `json:"name"`
-	// Op is "query", "countall", "open" or "servecount".
+	// Op is "query", "countall", "batch", "open", "servecount" or
+	// "servebatch".
 	Op string `json:"op"`
-	// Engine is "arena" or "slab" (read engines), or "json" or "binary"
-	// (release encodings, for open rows).
+	// Engine is "arena" or "slab" (read engines), "perquery" or
+	// "nodemajor" (batch rows), or "json" or "binary" (release encodings,
+	// for open rows).
 	Engine string `json:"engine"`
 	// Parallelism is the worker bound (countall rows; 0 = one per core).
 	Parallelism int `json:"parallelism,omitempty"`
@@ -55,9 +57,13 @@ type queryRow struct {
 	ArtifactBytes int `json:"artifact_bytes,omitempty"`
 	// SpeedupVsArena is arena-ns / this-ns on the matching arena row
 	// (slab rows), and SpeedupVsJSON is json-ns / this-ns (binary open
-	// rows): the two tentpole acceptance ratios.
+	// rows): the PR 3 tentpole acceptance ratios.
 	SpeedupVsArena float64 `json:"speedup_vs_arena,omitempty"`
 	SpeedupVsJSON  float64 `json:"speedup_vs_json,omitempty"`
+	// SpeedupVsPerQuery is perquery-ns / this-ns on the matching
+	// per-query slab row (nodemajor batch rows): the node-major batch
+	// engine's acceptance ratio, >= 2x required at batch >= 1k.
+	SpeedupVsPerQuery float64 `json:"speedup_vs_perquery,omitempty"`
 }
 
 // benchNs runs fn under testing.Benchmark and returns the per-op numbers.
@@ -117,6 +123,9 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 		}
 		if row.SpeedupVsJSON > 0 {
 			extra = fmt.Sprintf("  %.2fx vs json", row.SpeedupVsJSON)
+		}
+		if row.SpeedupVsPerQuery > 0 {
+			extra = fmt.Sprintf("  %.2fx vs perquery", row.SpeedupVsPerQuery)
 		}
 		fmt.Printf("%-36s %12.0f ns/op %6d allocs/op%s\n", row.Name, row.NsPerOp, row.AllocsPerOp, extra)
 	}
@@ -183,6 +192,53 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 		})
 	}
 
+	// Node-major batch engine vs the per-query slab loop — the tentpole
+	// comparison of the batch-engine PR. The batches are unique 10%×10%
+	// queries (no repeats: repeats overstate locality), answered on the
+	// same kd h=8 slab two ways: one DFS per query (the PR 3 serving
+	// path, the committed per-query slab baseline) and one node-major
+	// pass. par=1 isolates the engines on a single core; par=0 lets the
+	// batch engine shard across the machine. The acceptance bar is >= 2x
+	// at batch >= 1k.
+	uniq, err := workload.GenQueries(env.Index, workload.QueryShape{W: 10, H: 10},
+		4096, scale.Seed^0xba7c4)
+	if err != nil {
+		return err
+	}
+	for _, size := range []int{256, 1024, 4096} {
+		bqs := uniq.Rects[:size]
+		out := make([]float64, size)
+		perNs, perAllocs, perBytes := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, q := range bqs {
+					out[j] = slab.Count(q)
+				}
+			}
+		})
+		emit(queryRow{
+			Name: fmt.Sprintf("batch/kd-h8-n%d/perquery", size),
+			Op:   "batch", Engine: "perquery", Parallelism: 1,
+			NsPerOp: perNs, AllocsPerOp: perAllocs, BytesPerOp: perBytes,
+			QueriesPerSec: float64(size) * 1e9 / perNs,
+		})
+		for _, par := range []int{1, 0} {
+			par := par
+			slab.CountBatchIntoWorkers(out, bqs, par) // warm the pools
+			nmNs, nmAllocs, nmBytes := benchNs(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					slab.CountBatchIntoWorkers(out, bqs, par)
+				}
+			})
+			emit(queryRow{
+				Name: fmt.Sprintf("batch/kd-h8-n%d/nodemajor/par=%d", size, par),
+				Op:   "batch", Engine: "nodemajor", Parallelism: par,
+				NsPerOp: nmNs, AllocsPerOp: nmAllocs, BytesPerOp: nmBytes,
+				QueriesPerSec:     float64(size) * 1e9 / nmNs,
+				SpeedupVsPerQuery: perNs / nmNs,
+			})
+		}
+	}
+
 	// Artifact open into the serving form, both encodings of the golden
 	// quadtree release.
 	jsonBytes, err := os.ReadFile(filepath.Join(testdataDir, "release_quadtree.json"))
@@ -245,6 +301,25 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 	emit(queryRow{
 		Name: "servecount/nocache/slab", Op: "servecount", Engine: "slab",
 		NsPerOp: srvNs, AllocsPerOp: srvAllocs, BytesPerOp: srvBytes,
+	})
+
+	// serve.Release.CountBatchInto with the cache off: the /batch handler's
+	// engine call. Every rectangle is a miss, so the whole batch runs
+	// through one node-major call per request; the acceptance bar is 0
+	// allocs/op steady-state (cache-miss insertions excluded — caching is
+	// off, so none happen).
+	srvBatch := uniq.Rects[:256]
+	srvVals := make([]float64, len(srvBatch))
+	rel.CountBatchInto(srvVals, srvBatch) // warm the pools
+	sbNs, sbAllocs, sbBytes := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel.CountBatchInto(srvVals, srvBatch)
+		}
+	})
+	emit(queryRow{
+		Name: "servebatch/nocache-n256/nodemajor", Op: "servebatch", Engine: "nodemajor",
+		NsPerOp: sbNs, AllocsPerOp: sbAllocs, BytesPerOp: sbBytes,
+		QueriesPerSec: float64(len(srvBatch)) * 1e9 / sbNs,
 	})
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -29,10 +29,10 @@ type serveReport struct {
 	CPUs      int    `json:"cpus"`
 	Scale     string `json:"scale"`
 	// Release describes the served artifact.
-	ReleaseKind   string `json:"release_kind"`
-	ReleaseHeight int    `json:"release_height"`
-	ReleaseBytes  int    `json:"release_bytes"`
-	UnixTime      int64  `json:"unix_time"`
+	ReleaseKind   string     `json:"release_kind"`
+	ReleaseHeight int        `json:"release_height"`
+	ReleaseBytes  int        `json:"release_bytes"`
+	UnixTime      int64      `json:"unix_time"`
 	Rows          []serveRow `json:"rows"`
 }
 

@@ -264,6 +264,10 @@ type PSD struct {
 	medianCalls atomic.Int64
 	// stacks pools query DFS stacks so single queries are allocation-free.
 	stacks sync.Pool
+	// sealOnce/sealed cache the flat slab the batch query path answers
+	// through (Sealed); the arena remains the source of truth.
+	sealOnce sync.Once
+	sealed   *Slab
 }
 
 // Kind returns the decomposition family.

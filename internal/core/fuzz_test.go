@@ -51,7 +51,7 @@ func FuzzReadRelease(f *testing.F) {
 		vb := bin.Bytes()
 		f.Add(vb)
 		for _, mut := range [][]byte{
-			append([]byte{'P', 'S', 'D', '2', 9}, vb[5:]...), // bad version
+			append([]byte{'P', 'S', 'D', '2', 9}, vb[5:]...),     // bad version
 			append([]byte{'P', 'S', 'D', '2', 2, 77}, vb[6:]...), // bad kind
 			vb[:len(vb)/2],
 			vb[:binaryHeaderSize],
@@ -116,6 +116,62 @@ func checkOpened(t *testing.T, domainCount float64, rects []geom.Rect, counts []
 			t.Fatalf("leaf region count %v not finite", c)
 		}
 	}
+}
+
+// FuzzCountBatch drives the node-major batch engine with arbitrary rect
+// batches: whatever the batch, CountBatch must agree EXACTLY — answers and
+// aggregate traversal statistics — with the sequential per-query loop, on
+// both the arena and the slab read path, at several worker counts. Unlike
+// FuzzCount, non-finite bounds are kept: the engine must treat them exactly
+// as the per-query walk does (visit the root, answer 0).
+func FuzzCountBatch(f *testing.F) {
+	f.Add(0.0, 0.0, 64.0, 64.0, uint8(7), int64(1))
+	f.Add(10.0, 20.0, 30.0, 40.0, uint8(40), int64(2))
+	f.Add(-10.0, -10.0, 100.0, 100.0, uint8(3), int64(3))
+	f.Add(1.5, 1.5, 1.5, 60.0, uint8(0), int64(4))
+	f.Add(math.NaN(), 0.0, 64.0, 64.0, uint8(9), int64(5))
+	f.Add(63.9, 0.1, math.Inf(1), 64.0, uint8(17), int64(6))
+
+	f.Fuzz(func(t *testing.T, a, b, c, d float64, n uint8, seed int64) {
+		// The seed rect plus n derived rects (shifted/scaled walks around
+		// it) make a batch that mixes disjoint, contained, partial and
+		// degenerate queries over the fixed trees.
+		qs := make([]geom.Rect, 0, int(n)+1)
+		qs = append(qs, geom.Rect{Lo: geom.Point{X: a, Y: b}, Hi: geom.Point{X: c, Y: d}})
+		next := testRand(uint64(seed))
+		for i := 0; i < int(n); i++ {
+			x := next()*96 - 16
+			y := next()*96 - 16
+			w := next() * 48
+			h := next() * 48
+			qs = append(qs, geom.Rect{Lo: geom.Point{X: x, Y: y}, Hi: geom.Point{X: x + w, Y: y + h}})
+		}
+
+		for _, p := range fuzzTrees() {
+			s := p.Sealed()
+			want, wantSt := sumStats(s, qs)
+			// The arena per-query loop must agree with the slab per-query
+			// loop (already pinned, but it anchors this target's reference).
+			for i, q := range qs {
+				if av := p.Query(q); av != want[i] {
+					t.Fatalf("arena Query(%v) = %v, slab %v", q, av, want[i])
+				}
+			}
+			for _, workers := range []int{1, 3, 0} {
+				out := make([]float64, len(qs))
+				st := s.CountBatchInto(out, qs, workers)
+				for i := range want {
+					if out[i] != want[i] {
+						t.Fatalf("workers=%d: CountBatch[%d](%v) = %v, per-query %v",
+							workers, i, qs[i], out[i], want[i])
+					}
+				}
+				if st != wantSt {
+					t.Fatalf("workers=%d: batch stats %+v, per-query sum %+v", workers, st, wantSt)
+				}
+			}
+		}
+	})
 }
 
 // fuzzTrees builds the fixed post-processed trees FuzzCount checks

@@ -80,6 +80,35 @@ func (p *PSD) CountAllWorkers(qs []geom.Rect, workers int) []float64 {
 	return out
 }
 
+// Sealed returns the PSD's cached flat slab, materializing it on first
+// use. The slab answers every query bit-identically to the arena (pinned
+// by the slab tests), so it is the engine behind the batch query path; the
+// arena remains the source of truth and stays fully usable.
+func (p *PSD) Sealed() *Slab {
+	p.sealOnce.Do(func() { p.sealed = p.Seal() })
+	return p.sealed
+}
+
+// CountBatch answers a batch of range queries through the node-major batch
+// engine (one traversal per batch instead of one DFS per query; see
+// Slab.CountBatch). Answers come back in input order and are bit-identical
+// to issuing each Query alone.
+func (p *PSD) CountBatch(qs []geom.Rect) []float64 {
+	return p.Sealed().CountBatch(qs)
+}
+
+// CountBatchWorkers is CountBatch with an explicit worker bound (0 = one
+// per core, 1 = a single traversal on the caller's goroutine).
+func (p *PSD) CountBatchWorkers(qs []geom.Rect, workers int) []float64 {
+	return p.Sealed().CountBatchWorkers(qs, workers)
+}
+
+// CountBatchInto is Slab.CountBatchInto on the cached sealed slab: answers
+// into out plus the batch's aggregate traversal statistics.
+func (p *PSD) CountBatchInto(out []float64, qs []geom.Rect, workers int) QueryStats {
+	return p.Sealed().CountBatchInto(out, qs, workers)
+}
+
 // queryIter runs the canonical method with an explicit stack, reusing the
 // caller's buffer across queries.
 func (p *PSD) queryIter(q geom.Rect, stack *queryStack, st *QueryStats) float64 {

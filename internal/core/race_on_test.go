@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active: sync.Pool drops
+// items randomly under the detector, so steady-state allocation
+// assertions do not hold.
+const raceEnabled = true

@@ -58,6 +58,11 @@ type Slab struct {
 
 	// stacks pools query DFS stacks so single queries are allocation-free.
 	stacks sync.Pool
+	// batchScratches and batchStates pool the node-major batch engine's
+	// per-worker traversal state and per-call clustering state (batch.go),
+	// so steady-state CountBatch calls are allocation-free.
+	batchScratches sync.Pool
+	batchStates    sync.Pool
 }
 
 // bitset is a packed bool-per-node column.

@@ -109,10 +109,12 @@ func (e *Env) Queries(shape workload.QueryShape) (*workload.Queries, error) {
 
 // RelativeErrors returns the per-query relative errors (in %) of a PSD on a
 // workload: 100·|estimate − truth|/truth. GenQueries guarantees truth ≥ 1.
-// The whole workload is answered through the batch query path, so figure
-// regeneration scales with the machine.
+// The whole workload is answered through the node-major batch engine
+// (PSD.CountBatch) — one pass over the sealed slab per workload — so figure
+// regeneration scales with the machine; answers are bit-identical to
+// querying one rectangle at a time.
 func RelativeErrors(p *core.PSD, qs *workload.Queries) []float64 {
-	out := p.CountAll(qs.Rects)
+	out := p.CountBatch(qs.Rects)
 	for i, est := range out {
 		out[i] = 100 * math.Abs(est-qs.Answers[i]) / qs.Answers[i]
 	}

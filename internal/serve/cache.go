@@ -4,13 +4,15 @@ import (
 	"container/list"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
-// queryKey identifies a range query for caching: the four rectangle bounds,
-// bit-for-bit. Queries against a fixed release are deterministic
-// post-processing of the published counts (Section 4.1 — no budget is spent
-// at query time), so caching answers is semantically free: a hit returns
-// exactly what recomputation would.
+// queryKey identifies a range query for caching: the four rectangle bounds
+// as a fixed-width binary key (4×float64, bit-for-bit — no per-lookup
+// formatting or string allocation). Queries against a fixed release are
+// deterministic post-processing of the published counts (Section 4.1 — no
+// budget is spent at query time), so caching answers is semantically free:
+// a hit returns exactly what recomputation would.
 type queryKey [4]float64
 
 // cacheShards is the fixed shard count of a Cache; a power of two so shard
@@ -26,6 +28,10 @@ const cacheShards = 16
 // pays no extra atomics.
 type Cache struct {
 	shards [cacheShards]cacheShard
+	// evictions counts answers displaced by capacity pressure — the signal
+	// that the cache is undersized for the live query mix. Surfaced in the
+	// /stats endpoint.
+	evictions atomic.Uint64
 }
 
 type cacheShard struct {
@@ -108,10 +114,19 @@ func (c *Cache) Put(k queryKey, v float64) {
 		if oldest != nil {
 			delete(s.items, oldest.Value.(*cacheEntry).key)
 			s.order.Remove(oldest)
+			c.evictions.Add(1)
 		}
 	}
 	s.items[k] = s.order.PushFront(&cacheEntry{key: k, val: v})
 	s.mu.Unlock()
+}
+
+// Evictions returns the total number of answers evicted to make room.
+func (c *Cache) Evictions() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
 }
 
 // Len returns the number of cached answers.
@@ -128,4 +143,3 @@ func (c *Cache) Len() int {
 	}
 	return n
 }
-

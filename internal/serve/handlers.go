@@ -252,11 +252,15 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = q
 	}
-	vals, hits := rel.CountBatch(qs)
+	// One node-major engine call answers every miss; hits fill from the
+	// cache per query, exactly as the single-query endpoint would.
+	vals := make([]float64, len(qs))
+	hits, bst := rel.CountBatchInto(vals, qs)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"release":    rel.Name,
 		"counts":     vals,
 		"cache_hits": hits,
+		"stats":      bst,
 	})
 }
 

@@ -61,6 +61,17 @@ type Release struct {
 
 	cache *Cache
 	stats stats
+	// batchBufs pools the miss-tracking scratch of CountBatchInto so
+	// steady-state batches (warm cache, or caching off) allocate nothing.
+	batchBufs sync.Pool
+}
+
+// batchBuf is the reusable scratch of one batch request: which positions
+// missed the cache, their rectangles, and the engine's answers for them.
+type batchBuf struct {
+	missIdx  []int32
+	missQs   []psd.Rect
+	missVals []float64
 }
 
 // Count answers one range query through the cache, recording stats.
@@ -78,14 +89,30 @@ func (r *Release) Count(q psd.Rect) (val float64, cached bool) {
 }
 
 // CountBatch answers a batch of queries: cached answers are filled
-// directly, the misses go through the slab's batch worker pool in one call,
-// and every fresh answer is inserted into the cache. Answers come back in
+// directly, the misses go through ONE node-major batch engine call, and
+// every fresh answer is inserted into the cache. Answers come back in
 // input order and equal what Count would return per rectangle.
 func (r *Release) CountBatch(qs []psd.Rect) (vals []float64, hits int) {
-	start := time.Now()
 	vals = make([]float64, len(qs))
-	missIdx := make([]int, 0, len(qs))
-	missQs := make([]psd.Rect, 0, len(qs))
+	hits, _ = r.CountBatchInto(vals, qs)
+	return vals, hits
+}
+
+// CountBatchInto is CountBatch writing into vals (whose length must match
+// the batch). It preserves the per-query cache lookup/fill of the
+// single-query path and executes exactly one engine call for the misses,
+// returning the hit count plus the engine's aggregate traversal statistics
+// over the missed rectangles (the sum of what each individual query would
+// report). With a warm cache — or caching disabled — the steady-state call
+// allocates nothing: the miss-tracking scratch is pooled and the engine
+// runs out of pooled traversal state.
+func (r *Release) CountBatchInto(vals []float64, qs []psd.Rect) (hits int, st psd.QueryStats) {
+	start := time.Now()
+	bb, _ := r.batchBufs.Get().(*batchBuf)
+	if bb == nil {
+		bb = &batchBuf{}
+	}
+	missIdx, missQs := bb.missIdx[:0], bb.missQs[:0]
 	for i, q := range qs {
 		k := queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}
 		if v, ok := r.cache.Get(k); ok {
@@ -93,19 +120,29 @@ func (r *Release) CountBatch(qs []psd.Rect) (vals []float64, hits int) {
 			hits++
 			continue
 		}
-		missIdx = append(missIdx, i)
+		missIdx = append(missIdx, int32(i))
 		missQs = append(missQs, q)
 	}
 	if len(missQs) > 0 {
-		fresh := r.Slab.CountAll(missQs)
+		if cap(bb.missVals) < len(missQs) {
+			bb.missVals = make([]float64, len(missQs))
+		}
+		missVals := bb.missVals[:len(missQs)]
+		// One traversal on this goroutine: under serving load, concurrency
+		// comes from concurrent requests already saturating the cores, and
+		// the single-worker engine path is the one that is allocation-free
+		// on every machine (the sharded path spawns per-request workers).
+		st = r.Slab.CountBatchIntoWorkers(missVals, missQs, 1)
 		for j, i := range missIdx {
-			vals[i] = fresh[j]
+			vals[i] = missVals[j]
 			q := missQs[j]
-			r.cache.Put(queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}, fresh[j])
+			r.cache.Put(queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}, missVals[j])
 		}
 	}
+	bb.missIdx, bb.missQs = missIdx[:0], missQs[:0]
+	r.batchBufs.Put(bb)
 	r.stats.record(uint64(len(qs)), uint64(hits), time.Since(start))
-	return vals, hits
+	return hits, st
 }
 
 // Stats returns a snapshot of the release's serving counters.

@@ -411,3 +411,151 @@ func TestConcurrentQueriesAndHotReload(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCountBatchIntoMatchesPerQuery pins the serving batch path: one
+// node-major engine call per request, per-query cache semantics preserved,
+// answers and traversal stats identical to the per-rect Count loop at every
+// cache state.
+func TestCountBatchIntoMatchesPerQuery(t *testing.T) {
+	tree := buildTree(t, 31)
+	slab := tree.Seal()
+	var artifact bytes.Buffer
+	if err := tree.WriteBinaryRelease(&artifact); err != nil {
+		t.Fatal(err)
+	}
+	d := tree.Domain()
+	qs := make([]psd.Rect, 0, 96)
+	for i := 0; i < 96; i++ {
+		fx := float64(i%12) / 12
+		fy := float64(i/12) / 12
+		qs = append(qs, psd.NewRect(
+			d.Lo.X+fx*0.8*d.Width(), d.Lo.Y+fy*0.8*d.Height(),
+			d.Lo.X+(fx*0.8+0.2)*d.Width(), d.Lo.Y+(fy*0.8+0.2)*d.Height(),
+		))
+	}
+	want := make([]float64, len(qs))
+	var wantSt psd.QueryStats
+	for i, q := range qs {
+		want[i] = slab.Count(q)
+	}
+	wantSt = slab.CountBatchIntoWorkers(make([]float64, len(qs)), qs, 1)
+
+	for _, cacheSize := range []int{0, 8, 4096} {
+		reg := NewRegistry(cacheSize)
+		rel, err := reg.Register("b", "test", bytes.NewReader(artifact.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cold: every answer fresh, stats cover the whole batch.
+		vals := make([]float64, len(qs))
+		hits, st := rel.CountBatchInto(vals, qs)
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("cache=%d: batch[%d] = %v, want %v", cacheSize, i, vals[i], want[i])
+			}
+		}
+		if hits != 0 {
+			t.Fatalf("cache=%d: cold batch reported %d hits", cacheSize, hits)
+		}
+		if st != wantSt {
+			t.Fatalf("cache=%d: cold batch stats %+v, want %+v", cacheSize, st, wantSt)
+		}
+		// Warm: answers unchanged; with a big enough cache everything hits
+		// and the engine does no traversal at all.
+		for i := range vals {
+			vals[i] = -1
+		}
+		hits, st = rel.CountBatchInto(vals, qs)
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("cache=%d: warm batch[%d] = %v, want %v", cacheSize, i, vals[i], want[i])
+			}
+		}
+		if cacheSize >= len(qs) {
+			if hits != len(qs) || st != (psd.QueryStats{}) {
+				t.Fatalf("cache=%d: warm batch hits=%d stats=%+v, want all hits / zero stats",
+					cacheSize, hits, st)
+			}
+		}
+		// The allocating wrapper agrees.
+		wvals, _ := rel.CountBatch(qs)
+		for i := range want {
+			if wvals[i] != want[i] {
+				t.Fatalf("cache=%d: CountBatch[%d] = %v, want %v", cacheSize, i, wvals[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCacheEvictionsSurfaced pins the eviction counter: a cache smaller
+// than the query mix must report evictions through the stats snapshot and
+// the /stats endpoint.
+func TestCacheEvictionsSurfaced(t *testing.T) {
+	tree := buildTree(t, 33)
+	reg := NewRegistry(16) // 16 shards x 1 entry
+	rel, err := reg.Register("tiny", "test", bytes.NewReader(releaseBytes(t, tree)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		f := float64(i)
+		rel.Count(psd.NewRect(f/10, f/10, f/10+1, f/10+1))
+	}
+	snap := rel.Stats()
+	if snap.CacheEvictions == 0 {
+		t.Fatalf("stats = %+v, want evictions > 0", snap)
+	}
+	api := &API{Registry: reg}
+	srv := newTestServer(t, api)
+	var statsResp struct {
+		Stats StatsSnapshot `json:"stats"`
+	}
+	getJSON(t, srv.URL+"/v1/releases/tiny/stats", http.StatusOK, &statsResp)
+	if statsResp.Stats.CacheEvictions == 0 {
+		t.Fatalf("/stats = %+v, want cache_evictions > 0", statsResp.Stats)
+	}
+
+	// A fresh all-hit release reports zero evictions.
+	reg2 := NewRegistry(4096)
+	rel2, err := reg2.Register("big", "test", bytes.NewReader(releaseBytes(t, tree)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2.Count(psd.NewRect(0, 0, 1, 1))
+	rel2.Count(psd.NewRect(0, 0, 1, 1))
+	if s := rel2.Stats(); s.CacheEvictions != 0 {
+		t.Fatalf("big cache stats = %+v, want 0 evictions", s)
+	}
+}
+
+// TestBatchEndpointStats pins the /batch response's per-batch stats field:
+// it must equal the engine's aggregate over the missed rectangles.
+func TestBatchEndpointStats(t *testing.T) {
+	tree := buildTree(t, 35)
+	slab := tree.Seal()
+	reg := NewRegistry(1024)
+	if _, err := reg.Register("r", "test", bytes.NewReader(releaseBytes(t, tree))); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, &API{Registry: reg})
+
+	qs := []psd.Rect{psd.NewRect(0, 0, 50, 50), psd.NewRect(10, 10, 90, 40)}
+	wantSt := slab.CountBatchIntoWorkers(make([]float64, len(qs)), qs, 1)
+	body, _ := json.Marshal(map[string][][4]float64{"rects": {
+		{0, 0, 50, 50}, {10, 10, 90, 40},
+	}})
+	var batch struct {
+		Counts    []float64      `json:"counts"`
+		CacheHits int            `json:"cache_hits"`
+		Stats     psd.QueryStats `json:"stats"`
+	}
+	postJSON(t, srv.URL+"/v1/releases/r/batch", body, http.StatusOK, &batch)
+	if batch.Stats != wantSt {
+		t.Fatalf("/batch stats = %+v, want %+v", batch.Stats, wantSt)
+	}
+	// Second, fully cached request: zero traversal.
+	postJSON(t, srv.URL+"/v1/releases/r/batch", body, http.StatusOK, &batch)
+	if batch.CacheHits != len(qs) || batch.Stats != (psd.QueryStats{}) {
+		t.Fatalf("cached /batch = %+v, want all hits / zero stats", batch)
+	}
+}

@@ -43,6 +43,9 @@ type StatsSnapshot struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// CacheLen is the number of answers currently cached.
 	CacheLen int `json:"cache_len"`
+	// CacheEvictions is the number of answers displaced by capacity
+	// pressure — the sizing signal for the -cache flag.
+	CacheEvictions uint64 `json:"cache_evictions"`
 	// MeanLatencyNs and MaxLatencyNs summarize request latency as observed
 	// inside the handler (excluding network and JSON encoding of the
 	// response body).
@@ -52,11 +55,12 @@ type StatsSnapshot struct {
 
 func (s *stats) snapshot(c *Cache) StatsSnapshot {
 	snap := StatsSnapshot{
-		Requests:     s.requests.Load(),
-		Queries:      s.queries.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheLen:     c.Len(),
-		MaxLatencyNs: s.maxNs.Load(),
+		Requests:       s.requests.Load(),
+		Queries:        s.queries.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheLen:       c.Len(),
+		CacheEvictions: c.Evictions(),
+		MaxLatencyNs:   s.maxNs.Load(),
 	}
 	// The counters are loaded independently while writers run; clamp so a
 	// snapshot racing a record can't underflow the misses.

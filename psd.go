@@ -307,6 +307,13 @@ func (t *Tree) Count(q Rect) float64 { return t.inner.Query(q) }
 // which is the right shape for serving many queries against one release.
 func (t *Tree) CountAll(qs []Rect) []float64 { return t.inner.CountAll(qs) }
 
+// CountBatch answers a batch of range queries with the node-major batch
+// engine: the tree's flat serving form (sealed lazily, once) is traversed
+// one time per batch, classifying every still-active query at each node,
+// instead of walking the tree once per query. Each answer is exactly what
+// Count would return for that rectangle; only the work schedule changes.
+func (t *Tree) CountBatch(qs []Rect) []float64 { return t.inner.CountBatch(qs) }
+
 // Regions returns the effective leaf regions of the release and their
 // estimated counts — a flat histogram view of the decomposition.
 func (t *Tree) Regions() ([]Rect, []float64) { return t.inner.LeafRegions() }

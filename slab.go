@@ -29,8 +29,45 @@ func (t *Tree) Seal() *Slab { return &Slab{inner: t.inner.Seal()} }
 func (s *Slab) Count(q Rect) float64 { return s.inner.Query(q) }
 
 // CountAll answers a batch of range queries with a worker pool (one worker
-// per available core), returning answers in input order.
+// per available core), one independent DFS per query, returning answers in
+// input order. Prefer CountBatch: the node-major engine answers the same
+// batch from one pass over the slab.
 func (s *Slab) CountAll(qs []Rect) []float64 { return s.inner.CountAll(qs) }
+
+// QueryStats describes how a batch of queries was answered; it is the sum
+// of the per-query traversal statistics.
+type QueryStats struct {
+	// NodesAdded is the total n(Q): node counts summed into the answers
+	// (Section 4.1). Partial leaves count too.
+	NodesAdded int `json:"nodes_added"`
+	// NodesVisited is the total number of node records the traversals
+	// touched.
+	NodesVisited int `json:"nodes_visited"`
+	// PartialLeaves is the number of leaves answered under the uniformity
+	// assumption.
+	PartialLeaves int `json:"partial_leaves"`
+}
+
+// CountBatch answers a batch of range queries with the node-major batch
+// engine: one pass over the slab per batch (sharded across cores for large
+// batches) instead of one DFS per query, so node records are loaded once
+// per node per batch. Answers come back in input order and are
+// bit-identical to calling Count per rectangle.
+func (s *Slab) CountBatch(qs []Rect) []float64 { return s.inner.CountBatch(qs) }
+
+// CountBatchInto is CountBatch writing into dst (whose length must match
+// the batch), returning the batch's aggregate traversal statistics.
+func (s *Slab) CountBatchInto(dst []float64, qs []Rect) QueryStats {
+	return QueryStats(s.inner.CountBatchInto(dst, qs, 0))
+}
+
+// CountBatchIntoWorkers is CountBatchInto with an explicit worker bound
+// (0 = one per core, 1 = a single traversal on the caller's goroutine).
+// Steady-state single-worker calls perform no allocations: all traversal
+// state comes from pooled scratch.
+func (s *Slab) CountBatchIntoWorkers(dst []float64, qs []Rect, workers int) QueryStats {
+	return QueryStats(s.inner.CountBatchInto(dst, qs, workers))
+}
 
 // Regions returns the effective leaf regions of the release and their
 // estimated counts — a flat histogram view of the decomposition.
