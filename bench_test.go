@@ -397,6 +397,9 @@ func BenchmarkCountBatch(b *testing.B) {
 	}{
 		{"quad-h10", QuadtreeKind, 10},
 		{"kd-h8", KDTree, 8},
+		// The adaptive tree: most of the slab is unpublished interior, so
+		// the batch engine's terminal checks run on the pruned/usable bitsets.
+		{"privtree-h8", PrivTreeKind, 8},
 	}
 	for _, k := range kinds {
 		tree, err := Build(env.Data.Points, env.Data.Domain, Options{

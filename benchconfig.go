@@ -24,6 +24,7 @@ func BuildBenchConfigs() []BuildBenchConfig {
 		{Name: "kd-h8", Kind: KDTree, Height: 8},
 		{Name: "kd-hybrid-h8", Kind: KDHybrid, Height: 8},
 		{Name: "hilbert-h6", Kind: HilbertRTree, Height: 6},
+		{Name: "privtree-h8", Kind: PrivTreeKind, Height: 8},
 	}
 }
 

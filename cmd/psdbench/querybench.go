@@ -205,37 +205,58 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 	if err != nil {
 		return err
 	}
-	for _, size := range []int{256, 1024, 4096} {
-		bqs := uniq.Rects[:size]
-		out := make([]float64, size)
-		perNs, perAllocs, perBytes := benchNs(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				for j, q := range bqs {
-					out[j] = slab.Count(q)
-				}
-			}
-		})
-		emit(queryRow{
-			Name: fmt.Sprintf("batch/kd-h8-n%d/perquery", size),
-			Op:   "batch", Engine: "perquery", Parallelism: 1,
-			NsPerOp: perNs, AllocsPerOp: perAllocs, BytesPerOp: perBytes,
-			QueriesPerSec: float64(size) * 1e9 / perNs,
-		})
-		for _, par := range []int{1, 0} {
-			par := par
-			slab.CountBatchIntoWorkers(out, bqs, par) // warm the pools
-			nmNs, nmAllocs, nmBytes := benchNs(func(b *testing.B) {
+	// Alongside the acceptance kd slab, the adaptive privtree h=8 slab —
+	// mostly unpublished interior behind pruned adaptive leaves — tracks the
+	// batch engine's bitset-heavy path, which fixed-height trees never
+	// exercise at depth. One size and par=1 keep its runtime negligible.
+	ptree, err := psd.Build(env.Data.Points, env.Data.Domain, psd.Options{
+		Kind: psd.PrivTreeKind, Height: 8, Epsilon: 0.5, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	batchAxes := []struct {
+		label string
+		slab  *psd.Slab
+		sizes []int
+		pars  []int
+	}{
+		{"kd-h8", slab, []int{256, 1024, 4096}, []int{1, 0}},
+		{"privtree-h8", ptree.Seal(), []int{1024}, []int{1}},
+	}
+	for _, ax := range batchAxes {
+		for _, size := range ax.sizes {
+			bqs := uniq.Rects[:size]
+			out := make([]float64, size)
+			perNs, perAllocs, perBytes := benchNs(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					slab.CountBatchIntoWorkers(out, bqs, par)
+					for j, q := range bqs {
+						out[j] = ax.slab.Count(q)
+					}
 				}
 			})
 			emit(queryRow{
-				Name: fmt.Sprintf("batch/kd-h8-n%d/nodemajor/par=%d", size, par),
-				Op:   "batch", Engine: "nodemajor", Parallelism: par,
-				NsPerOp: nmNs, AllocsPerOp: nmAllocs, BytesPerOp: nmBytes,
-				QueriesPerSec:     float64(size) * 1e9 / nmNs,
-				SpeedupVsPerQuery: perNs / nmNs,
+				Name: fmt.Sprintf("batch/%s-n%d/perquery", ax.label, size),
+				Op:   "batch", Engine: "perquery", Parallelism: 1,
+				NsPerOp: perNs, AllocsPerOp: perAllocs, BytesPerOp: perBytes,
+				QueriesPerSec: float64(size) * 1e9 / perNs,
 			})
+			for _, par := range ax.pars {
+				par := par
+				ax.slab.CountBatchIntoWorkers(out, bqs, par) // warm the pools
+				nmNs, nmAllocs, nmBytes := benchNs(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						ax.slab.CountBatchIntoWorkers(out, bqs, par)
+					}
+				})
+				emit(queryRow{
+					Name: fmt.Sprintf("batch/%s-n%d/nodemajor/par=%d", ax.label, size, par),
+					Op:   "batch", Engine: "nodemajor", Parallelism: par,
+					NsPerOp: nmNs, AllocsPerOp: nmAllocs, BytesPerOp: nmBytes,
+					QueriesPerSec:     float64(size) * 1e9 / nmNs,
+					SpeedupVsPerQuery: perNs / nmNs,
+				})
+			}
 		}
 	}
 

@@ -43,7 +43,10 @@ func TestEndToEnd(t *testing.T) {
 	l.Close()
 
 	fixture := filepath.Join(repoRoot, "testdata", "release_quadtree.json")
-	cmd := exec.Command(bin, "-addr", addr, "-release", "quadtree="+fixture)
+	cmd := exec.Command(bin, "-addr", addr,
+		"-release", "quadtree="+fixture,
+		"-release", "privtree="+filepath.Join(repoRoot, "testdata", "release_privtree.json"),
+		"-release", "privbin="+filepath.Join(repoRoot, "testdata", "release_privtree.bin"))
 	var logs bytes.Buffer
 	cmd.Stderr = &logs
 	if err := cmd.Start(); err != nil {
@@ -134,6 +137,57 @@ func TestEndToEnd(t *testing.T) {
 	// Every rect was answered (and cached) by the single-query pass.
 	if batch.CacheHits != len(golden.Queries) {
 		t.Errorf("batch cache hits = %d, want %d", batch.CacheHits, len(golden.Queries))
+	}
+
+	// The adaptive-kind fixture serves through both encodings: every golden
+	// rect must come back bit-identical from the JSON- and binary-backed
+	// releases, on the single-query and the batch path alike.
+	count := func(release string, rect [4]float64) float64 {
+		t.Helper()
+		url := fmt.Sprintf("%s/v1/releases/%s/count?rect=%g,%g,%g,%g",
+			base, release, rect[0], rect[1], rect[2], rect[3])
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Count float64 `json:"count"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", url, resp.StatusCode, err)
+		}
+		return out.Count
+	}
+	privWant := make([]float64, len(rects))
+	for i, r := range rects {
+		privWant[i] = count("privtree", r)
+		if got := count("privbin", r); got != privWant[i] {
+			t.Fatalf("privtree rect %v: binary-served %v, JSON-served %v", r, got, privWant[i])
+		}
+	}
+	resp, err = http.Post(base+"/v1/releases/privbin/batch",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var privBatch struct {
+		Counts []float64 `json:"counts"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&privBatch)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(privBatch.Counts) != len(rects) {
+		t.Fatalf("privtree batch: status %d, %d counts for %d rects",
+			resp.StatusCode, len(privBatch.Counts), len(rects))
+	}
+	for i := range rects {
+		if privBatch.Counts[i] != privWant[i] {
+			t.Fatalf("privtree batch[%d] = %v, single-query %v", i, privBatch.Counts[i], privWant[i])
+		}
 	}
 
 	// Graceful shutdown on SIGTERM.

@@ -82,7 +82,8 @@ func main() {
 	}
 	data := flag.String("data", "", "CSV point file (required)")
 	kindName := flag.String("kind", "quadtree",
-		"tree kind: quadtree, kd, kd-hybrid, hilbert-r, kd-cell, kd-noisymean")
+		"tree kind: quadtree, kd, kd-hybrid, hilbert-r, kd-cell, kd-noisymean, privtree")
+	theta := flag.Float64("theta", 0, "privtree split threshold θ (privtree only)")
 	height := flag.Int("height", 6, "tree height")
 	eps := flag.Float64("eps", 0.5, "privacy budget")
 	seed := flag.Int64("seed", 1, "build seed")
@@ -109,7 +110,7 @@ func main() {
 	kinds := map[string]psd.Kind{
 		"quadtree": psd.QuadtreeKind, "kd": psd.KDTree, "kd-hybrid": psd.KDHybrid,
 		"hilbert-r": psd.HilbertRTree, "kd-cell": psd.KDCellTree,
-		"kd-noisymean": psd.KDNoisyMeanTree,
+		"kd-noisymean": psd.KDNoisyMeanTree, "privtree": psd.PrivTreeKind,
 	}
 	kind, ok := kinds[*kindName]
 	if !ok {
@@ -124,8 +125,11 @@ func main() {
 		}
 	}
 
+	if *theta != 0 && kind != psd.PrivTreeKind {
+		fatal(fmt.Errorf("-theta applies only to -kind privtree"))
+	}
 	tree, err := psd.Build(points, domain, psd.Options{
-		Kind: kind, Height: *height, Epsilon: *eps, Seed: *seed,
+		Kind: kind, Height: *height, Epsilon: *eps, Seed: *seed, Theta: *theta,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -116,6 +117,111 @@ func TestConvertRoundTrip(t *testing.T) {
 	}
 	if _, _, err := convert(junk, binPath); err == nil {
 		t.Error("convert of a junk artifact should error")
+	}
+}
+
+// TestConvertPrivTreeGolden runs the converter over the adaptive-kind
+// golden fixture: the committed JSON and binary artifacts must be exact
+// conversions of each other, and the reopened slab keeps the partial
+// publication (pruned adaptive leaves reported as regions).
+func TestConvertPrivTreeGolden(t *testing.T) {
+	srcJSON := filepath.Join("..", "..", "testdata", "release_privtree.json")
+	srcBin := filepath.Join("..", "..", "testdata", "release_privtree.bin")
+	dir := t.TempDir()
+
+	slab, _, err := convert(srcJSON, filepath.Join(dir, "p.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slab.Kind() != "privtree" {
+		t.Fatalf("kind %q", slab.Kind())
+	}
+	want, err := os.ReadFile(srcBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "p.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("converted binary differs from the committed privtree fixture")
+	}
+	back, _, err := convert(srcBin, filepath.Join(dir, "p.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := slab.NumRegions(), back.NumRegions(); a != b || a == 0 {
+		t.Errorf("regions %d vs %d", a, b)
+	}
+	wantJSON, err := os.ReadFile(srcJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := os.ReadFile(filepath.Join(dir, "p.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Error("converted JSON differs from the committed privtree fixture")
+	}
+}
+
+// TestBuildPrivTreeFromCSV drives the tool's build path end-to-end for the
+// adaptive kind: skewed CSV points in, a binary release out, reopened and
+// queried. This is the datagen -> psdtool -> psdserve artifact shape.
+func TestBuildPrivTreeFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "pts.csv")
+	f, err := os.Create(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic skewed cloud: most mass near the origin.
+	s := uint64(9)
+	next := func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return float64((z^(z>>31))>>11) / float64(1<<53)
+	}
+	for i := 0; i < 4000; i++ {
+		x, y := next()*100, next()*100
+		if i%2 == 0 {
+			x, y = x*0.1, y*0.1
+		}
+		fmt.Fprintf(f, "%g,%g\n", x, y)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := readPoints(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := psd.Build(pts, psd.NewRect(0, 0, 100, 100), psd.Options{
+		Kind: psd.PrivTreeKind, MaxDepth: 5, Epsilon: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "roads.bin")
+	if _, err := writeRelease(tree, out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := psd.OpenSlab(g)
+	g.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := psd.NewRect(0, 0, 10, 10)
+	if got, want := slab.Count(q), tree.Count(q); got != want {
+		t.Errorf("reopened count %v, want %v", got, want)
 	}
 }
 

@@ -30,6 +30,7 @@ var goldenKinds = []struct {
 	{HilbertRTree, "hilbert-r"},
 	{KDCellTree, "kd-cell"},
 	{KDNoisyMeanTree, "kd-noisymean"},
+	{PrivTreeKind, "privtree"},
 }
 
 // goldenDomain and goldenSeed fix the fixture build inputs.
@@ -40,9 +41,14 @@ const goldenSeed = 4242
 func goldenBuild(t *testing.T, kind Kind) *Tree {
 	t.Helper()
 	pts := clusteredPoints(5000, goldenDomain, 99)
-	tree, err := Build(pts, goldenDomain, Options{
-		Kind: kind, Height: 3, Epsilon: 1, Seed: goldenSeed,
-	})
+	opts := Options{Kind: kind, Height: 3, Epsilon: 1, Seed: goldenSeed}
+	if kind == PrivTreeKind {
+		// Deep enough that the adaptive recursion actually stops early in
+		// the sparse half, so the fixture pins the pruned + partially
+		// published artifact shape, not just a fully split quadtree.
+		opts.Height, opts.MaxDepth = 0, 5
+	}
+	tree, err := Build(pts, goldenDomain, opts)
 	if err != nil {
 		t.Fatalf("%v: %v", kind, err)
 	}

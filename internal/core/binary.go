@@ -21,8 +21,8 @@ import (
 //	0       4           magic "PSD2"
 //	4       1           format version (2)
 //	5       1           kind (the Kind enumeration: 0 quadtree, 1 kd,
-//	                    2 kd-hybrid, 3 hilbert-r, 4 kd-cell, 5 kd-noisymean;
-//	                    frozen for v2)
+//	                    2 kd-hybrid, 3 hilbert-r, 4 kd-cell, 5 kd-noisymean,
+//	                    6 privtree; append-only for v2)
 //	6       1           fanout (must be 4)
 //	7       1           height h (0..13)
 //	8       8           epsilon (float64)
@@ -51,7 +51,7 @@ const binaryVersion = 2
 const binaryHeaderSize = 56
 
 // numKinds bounds the kind byte (the Kind enumeration is 0..numKinds-1).
-const numKinds = 6
+const numKinds = 7
 
 // SniffBinary reports whether the first bytes of an artifact announce the
 // binary format. JSON releases start with '{', so four bytes decide.

@@ -72,7 +72,7 @@ func Build(points []geom.Point, domain geom.Rect, cfg Config) (*PSD, error) {
 	// Independent subtrees build concurrently once the frontier is wide
 	// enough to feed the worker pool.
 	switch cfg.Kind {
-	case Quadtree, KD, Hybrid, KDNoisyMean:
+	case Quadtree, KD, Hybrid, KDNoisyMean, PrivTree:
 		sp, serr := newSplitPlanner(cfg, epsStruct, p)
 		if serr != nil {
 			return nil, serr
@@ -103,7 +103,15 @@ func Build(points []geom.Point, domain geom.Rect, cfg Config) (*PSD, error) {
 	// With a StreamNoise source each node draws from its own stream, so the
 	// per-level sweep parallelizes without changing the release.
 	var levels []float64
-	if cfg.NonPrivate {
+	if cfg.Kind == PrivTree {
+		// PrivTree replaces the per-level release entirely: the adaptive
+		// splitting rule fixes the published shape, and one epsCount release
+		// covers the adaptive leaf partition (privtree.go).
+		levels, err = privTreeRelease(arena, cfg, epsStruct, epsCount, p, workers)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.NonPrivate {
 		levels = make([]float64, cfg.Height+1)
 		par.For(workers, 0, arena.Len(), 4096, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -374,7 +382,9 @@ func partitionBelow(pts []geom.Point, axis geom.Axis, split float64) int {
 // newSplitPlanner builds the planner for the partition-tree kinds.
 func newSplitPlanner(cfg Config, epsStruct float64, p *PSD) (splitPlanner, error) {
 	switch cfg.Kind {
-	case Quadtree:
+	case Quadtree, PrivTree:
+		// PrivTree geometry is a plain midpoint quadtree; its adaptivity —
+		// which subtrees publish — is decided at release time (privtree.go).
 		return midpointSplitter{}, nil
 	case KD, KDNoisyMean:
 		return newMedianSplitter(cfg, cfg.Height, epsStruct, p)

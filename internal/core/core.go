@@ -52,6 +52,14 @@ const (
 	HilbertR
 	KDCell
 	KDNoisyMean
+	// PrivTree is the adaptive decomposition of Zhang et al. (SIGMOD 2016):
+	// midpoint (quadtree) geometry whose recursion depth is data-adaptive —
+	// a node splits while its depth-decayed noisy count exceeds a threshold,
+	// at a privacy cost independent of the depth. Internally it is a
+	// complete quadtree of the configured Height in which non-split
+	// subtrees are structurally present but unpublished, so the release,
+	// slab and batch paths serve it unchanged.
+	PrivTree
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +77,8 @@ func (k Kind) String() string {
 		return "kd-cell"
 	case KDNoisyMean:
 		return "kd-noisymean"
+	case PrivTree:
+		return "privtree"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -133,6 +143,19 @@ type Config struct {
 	// choice; Section 8.2 found orders 16-24 equivalent).
 	HilbertOrder uint
 
+	// Lambda is the PrivTree splitting-noise scale λ (PrivTree only). Zero
+	// calibrates it from the structure budget — λ = (2β−1)/((β−1)·ε_struct)
+	// with β = 4, the smallest scale Zhang et al.'s Theorem 1 permits — so
+	// the decomposition consumes exactly ε_struct. An explicit positive
+	// Lambda overrides the calibration; StructureCost then reports the ε
+	// that scale actually consumes, which may differ from ε_struct.
+	Lambda float64
+
+	// Theta is the PrivTree split threshold θ (PrivTree only): a node
+	// splits while its depth-decayed noisy count exceeds it. θ spends no
+	// privacy; the default 0 is the paper's choice.
+	Theta float64
+
 	// CellSize is the kd-cell grid cell edge length in domain units
 	// (default: the paper's 0.01 scaled to the domain — domain width/2182,
 	// matching 0.01 degrees over the TIGER bounding box — capped so the
@@ -178,6 +201,26 @@ func (c Config) withDefaults(domain geom.Rect) (Config, error) {
 	}
 	if c.Parallelism < 0 {
 		return c, fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+	}
+	if c.Kind == PrivTree {
+		if c.Lambda < 0 || math.IsNaN(c.Lambda) || math.IsInf(c.Lambda, 0) {
+			return c, fmt.Errorf("core: invalid privtree lambda %v", c.Lambda)
+		}
+		if math.IsNaN(c.Theta) || math.IsInf(c.Theta, 0) {
+			return c, fmt.Errorf("core: invalid privtree theta %v", c.Theta)
+		}
+		if c.PruneThreshold > 0 {
+			return c, fmt.Errorf("core: privtree does not support PruneThreshold " +
+				"(its adaptive stopping rule is the pruning; tune Theta instead)")
+		}
+		// OLS post-processing models one Laplace release per level; PrivTree
+		// publishes a single release over the adaptive leaf partition, so the
+		// per-level model does not apply and the flag is ignored. (Leaving it
+		// set would also mark every node usable, including the unpublished
+		// interior whose estimate is zero.)
+		c.PostProcess = false
+	} else if c.Lambda != 0 || c.Theta != 0 {
+		return c, fmt.Errorf("core: Lambda/Theta apply only to PrivTree (kind %v)", c.Kind)
 	}
 	if c.Strategy == nil {
 		c.Strategy = budget.Geometric{}

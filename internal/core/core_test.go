@@ -608,6 +608,7 @@ func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		Quadtree: "quadtree", KD: "kd", Hybrid: "kd-hybrid",
 		HilbertR: "hilbert-r", KDCell: "kd-cell", KDNoisyMean: "kd-noisymean",
+		PrivTree: "privtree",
 	}
 	for k, want := range names {
 		if k.String() != want {

@@ -20,8 +20,11 @@ func equivalenceConfigs() map[string]Config {
 		"kd-cell":       {Kind: KDCell, Height: 3, Epsilon: 1, Seed: 45, CellSize: 2},
 		"kd-noisymean":  {Kind: KDNoisyMean, Height: 3, Epsilon: 1, Seed: 46},
 		"kd-nonprivate": {Kind: KD, Height: 3, NonPrivate: true},
-		"kd-true":       {Kind: KD, Height: 3, Epsilon: 1, Seed: 47, TrueMedians: true},
-		"quad-pruned":   {Kind: Quadtree, Height: 4, Epsilon: 1, Seed: 48, PostProcess: true, PruneThreshold: 40},
+		"privtree":      {Kind: PrivTree, Height: 4, Epsilon: 1, Seed: 50},
+		"privtree-theta": {Kind: PrivTree, Height: 3, Epsilon: 1, Seed: 51,
+			Theta: 16, Lambda: 4},
+		"kd-true":     {Kind: KD, Height: 3, Epsilon: 1, Seed: 47, TrueMedians: true},
+		"quad-pruned": {Kind: Quadtree, Height: 4, Epsilon: 1, Seed: 48, PostProcess: true, PruneThreshold: 40},
 		"kd-sampled": {Kind: KD, Height: 3, Epsilon: 1, Seed: 49,
 			Median: &median.Sampled{Inner: &median.EM{}, Rate: 0.5}},
 	}

@@ -16,7 +16,7 @@ import (
 func TestNonPrivateQueryMatchesTrueAnswerAllKinds(t *testing.T) {
 	dom := geom.NewRect(0, 0, 64, 64)
 	pts := randomPoints(4096, dom, 31)
-	kinds := []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean}
+	kinds := []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean, PrivTree}
 	src := rng.New(32)
 	for _, kind := range kinds {
 		cfg := Config{Kind: kind, Height: 3, NonPrivate: true, HilbertOrder: 10, CellSize: 1}
@@ -47,7 +47,7 @@ func TestNonPrivateQueryMatchesTrueAnswerAllKinds(t *testing.T) {
 func TestNoKindLosesPoints(t *testing.T) {
 	dom := geom.NewRect(-10, -10, 10, 10)
 	pts := randomPoints(2500, dom, 33)
-	for _, kind := range []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean} {
+	for _, kind := range []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean, PrivTree} {
 		p, err := Build(pts, dom, Config{Kind: kind, Height: 3, NonPrivate: true, HilbertOrder: 9, CellSize: 0.5})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)

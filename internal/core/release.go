@@ -269,7 +269,7 @@ func OpenRelease(rel *Release) (*PSD, error) {
 }
 
 func parseKind(s string) (Kind, error) {
-	for _, k := range []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean} {
+	for _, k := range []Kind{Quadtree, KD, Hybrid, HilbertR, KDCell, KDNoisyMean, PrivTree} {
 		if k.String() == s {
 			return k, nil
 		}

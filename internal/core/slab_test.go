@@ -19,6 +19,9 @@ func slabTestConfigs() []Config {
 		{Kind: HilbertR, Height: 3, Epsilon: 1, Seed: 15},
 		{Kind: KDCell, Height: 3, Epsilon: 1, Seed: 16, PostProcess: true},
 		{Kind: KDNoisyMean, Height: 3, Epsilon: 0.5, Seed: 17},
+		// Adaptive depth: unpublished interior + pruned adaptive leaves.
+		{Kind: PrivTree, Height: 4, Epsilon: 0.5, Seed: 18},
+		{Kind: PrivTree, Height: 3, Epsilon: 1, Seed: 19, Theta: 24},
 	}
 }
 

@@ -1,0 +1,57 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// PrivTree noise calibration (Zhang, Xiao, Xie. "PrivTree: A Differentially
+// Private Algorithm for Hierarchical Decompositions." SIGMOD 2016).
+//
+// PrivTree removes the fixed-height hyperparameter of the paper's
+// decompositions with a noisy-threshold splitting rule whose privacy cost is
+// independent of the recursion depth: a node v splits while its biased count
+// b(v) = c(v) − depth(v)·δ, floored at θ − δ and perturbed with Lap(λ),
+// exceeds the threshold θ. The decay δ shrinks deeper scores geometrically,
+// which is what lets a single λ cover every level at once (their Lemma 2 /
+// Theorem 1): for a fanout-β hierarchy the decomposition is ε-DP when
+//
+//	λ ≥ (2β − 1) / (β − 1) · 1/ε   and   δ = λ·ln β.
+//
+// The threshold θ is a free accuracy knob (it spends no privacy); the paper
+// uses θ = 0.
+
+// PrivTreeLambda returns the smallest Laplace scale λ that makes the
+// PrivTree splitting rule eps-differentially private for a fanout-β
+// hierarchy of unit-sensitivity counts: λ = (2β−1)/((β−1)·eps).
+func PrivTreeLambda(fanout int, eps float64) (float64, error) {
+	if fanout < 2 {
+		return 0, fmt.Errorf("dp: privtree needs fanout >= 2, got %d", fanout)
+	}
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return 0, fmt.Errorf("dp: privtree needs a positive finite structure budget, got %v", eps)
+	}
+	b := float64(fanout)
+	return (2*b - 1) / ((b - 1) * eps), nil
+}
+
+// PrivTreeEpsilon inverts PrivTreeLambda: the ε the splitting rule consumes
+// when run with Laplace scale lambda, ε = (2β−1)/((β−1)·λ). A zero lambda
+// (noiseless splits) consumes no finite budget and reports +Inf; callers
+// gate on it.
+func PrivTreeEpsilon(fanout int, lambda float64) float64 {
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	b := float64(fanout)
+	return (2*b - 1) / ((b - 1) * lambda)
+}
+
+// PrivTreeDelta returns the per-level score decay δ = λ·ln β paired with the
+// given Laplace scale (the choice Theorem 1's telescoping argument needs).
+func PrivTreeDelta(lambda float64, fanout int) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	return lambda * math.Log(float64(fanout))
+}

@@ -1,0 +1,39 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrivTreeCalibration(t *testing.T) {
+	// β = 4, ε = 0.3: λ = (7/3)/0.3, δ = λ·ln4, and the epsilon inversion
+	// recovers the budget exactly.
+	lam, err := PrivTreeLambda(4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (7.0 / 3.0) / 0.3; math.Abs(lam-want) > 1e-12 {
+		t.Errorf("lambda = %v, want %v", lam, want)
+	}
+	if got, want := PrivTreeDelta(lam, 4), lam*math.Log(4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("delta = %v, want %v", got, want)
+	}
+	if got := PrivTreeEpsilon(4, lam); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("epsilon(lambda) = %v, want 0.3", got)
+	}
+	// Noiseless splits consume unbounded budget; zero decay.
+	if got := PrivTreeEpsilon(4, 0); !math.IsInf(got, 1) {
+		t.Errorf("epsilon(0) = %v, want +Inf", got)
+	}
+	if got := PrivTreeDelta(0, 4); got != 0 {
+		t.Errorf("delta(0) = %v, want 0", got)
+	}
+	for _, bad := range []struct {
+		fanout int
+		eps    float64
+	}{{1, 1}, {4, 0}, {4, -1}, {4, math.NaN()}, {4, math.Inf(1)}} {
+		if _, err := PrivTreeLambda(bad.fanout, bad.eps); err == nil {
+			t.Errorf("PrivTreeLambda(%d, %v): expected error", bad.fanout, bad.eps)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package eval
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"psd/internal/budget"
@@ -9,13 +11,127 @@ import (
 	"psd/internal/workload"
 )
 
+// accuracyEnv is the dataset + high-support query workload the statistical
+// accuracy regressions share. Built once per test process (sync.OnceValue):
+// both regressions measure against the identical seeded inputs, and the
+// 30k-point RoadNetwork plus its count index is not rebuilt per test.
+type accuracyEnv struct {
+	data    workload.Dataset
+	queries []workload.Queries
+	err     error
+}
+
+var accuracy = sync.OnceValue(func() *accuracyEnv {
+	e := &accuracyEnv{}
+	e.data = workload.RoadNetwork(workload.RoadNetworkConfig{N: 30_000, Seed: 20120403})
+	idx, err := workload.NewCountIndex(e.data.Points, e.data.Domain, 512)
+	if err != nil {
+		e.err = err
+		return e
+	}
+	// GenQueries only guarantees a non-zero exact answer; queries with a
+	// handful of true points make *relative* error explode under any finite
+	// noise (the paper reports medians for the same reason). Mean relative
+	// error is only a meaningful regression metric over queries with
+	// substantial support, so keep those with at least 100 true points.
+	for _, shape := range []workload.QueryShape{{W: 5, H: 5}, {W: 10, H: 10}} {
+		qs, err := workload.GenQueries(idx, shape, 80, 20120403+int64(shape.W))
+		if err != nil {
+			e.err = err
+			return e
+		}
+		kept := workload.Queries{Shape: qs.Shape}
+		for i, ans := range qs.Answers {
+			if ans >= 100 {
+				kept.Rects = append(kept.Rects, qs.Rects[i])
+				kept.Answers = append(kept.Answers, ans)
+			}
+		}
+		if len(kept.Rects) < 20 {
+			e.err = fmt.Errorf("only %d/%d %v queries have >=100 true points", len(kept.Rects), 80, shape)
+			return e
+		}
+		e.queries = append(e.queries, kept)
+	}
+	return e
+})
+
+// accuracyMeanErr builds one tree on the shared workload and returns its
+// mean relative error (in %) over the kept queries.
+func accuracyMeanErr(t *testing.T, cfg core.Config) float64 {
+	t.Helper()
+	e := accuracy()
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	p, err := core.Build(e.data.Points, e.data.Domain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for i := range e.queries {
+		for _, err := range RelativeErrors(p, &e.queries[i]) {
+			sum += err
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// accuracySeeds is the number of independent trees each configuration
+// averages over, so a single lucky or unlucky noise draw cannot flip a
+// verdict.
+const accuracySeeds = 30
+
+// quadOptMeanErr is the 30-seed quad-opt baseline both regressions compare
+// against, computed once per process.
+func quadOptMeanErr(t *testing.T) float64 {
+	v := quadOptOnce()
+	if v.err != "" {
+		t.Fatal(v.err)
+	}
+	return v.mean
+}
+
+var quadOptOnce = sync.OnceValue(func() (v struct {
+	mean float64
+	err  string
+}) {
+	e := accuracy()
+	if e.err != nil {
+		v.err = e.err.Error()
+		return v
+	}
+	var sum float64
+	for seed := int64(1); seed <= accuracySeeds; seed++ {
+		p, err := core.Build(e.data.Points, e.data.Domain, core.Config{
+			Kind: core.Quadtree, Height: 7, Epsilon: 0.5, Seed: seed,
+			Strategy: budget.Geometric{}, PostProcess: true,
+		})
+		if err != nil {
+			v.err = err.Error()
+			return v
+		}
+		var s float64
+		var n int
+		for i := range e.queries {
+			for _, err := range RelativeErrors(p, &e.queries[i]) {
+				s += err
+				n++
+			}
+		}
+		sum += s / float64(n)
+	}
+	v.mean = sum / accuracySeeds
+	return v
+})
+
 // TestQuadOptAccuracyRegression pins the paper's headline behavior so it
 // cannot silently regress: quad-opt (geometric level budgets, Section 4.2,
 // plus OLS post-processing, Section 5) must stay within an absolute
 // accuracy bound AND strictly beat the prior-work baseline (uniform
-// budgets, no post-processing) on the same workload. Both sides are
-// averaged over many seeds so a single lucky or unlucky noise draw cannot
-// flip the verdict.
+// budgets, no post-processing) on the same workload.
 //
 // The pinned numbers come from this harness at the time of writing: over 30
 // seeds, quad-opt's mean relative error sat at 8.45% with the baseline at
@@ -26,71 +142,21 @@ import (
 // either optimization blows straight past them).
 func TestQuadOptAccuracyRegression(t *testing.T) {
 	const (
-		seeds          = 30
 		meanErrBound   = 15.0 // percent
 		minImprovement = 1.5  // baseline/opt mean-error ratio
 	)
 
-	data := workload.RoadNetwork(workload.RoadNetworkConfig{N: 30_000, Seed: 20120403})
-	idx, err := workload.NewCountIndex(data.Points, data.Domain, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// GenQueries only guarantees a non-zero exact answer; queries with a
-	// handful of true points make *relative* error explode under any finite
-	// noise (the paper reports medians for the same reason). Mean relative
-	// error is only a meaningful regression metric over queries with
-	// substantial support, so keep those with at least 100 true points.
-	var queries []workload.Queries
-	for _, shape := range []workload.QueryShape{{W: 5, H: 5}, {W: 10, H: 10}} {
-		qs, err := workload.GenQueries(idx, shape, 80, 20120403+int64(shape.W))
-		if err != nil {
-			t.Fatal(err)
-		}
-		kept := workload.Queries{Shape: qs.Shape}
-		for i, ans := range qs.Answers {
-			if ans >= 100 {
-				kept.Rects = append(kept.Rects, qs.Rects[i])
-				kept.Answers = append(kept.Answers, ans)
-			}
-		}
-		if len(kept.Rects) < 20 {
-			t.Fatalf("only %d/%d %v queries have >=100 true points", len(kept.Rects), 80, shape)
-		}
-		queries = append(queries, kept)
-	}
-
-	meanErr := func(cfg core.Config) float64 {
-		var sum float64
-		var n int
-		p, err := core.Build(data.Points, data.Domain, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := range queries {
-			for _, e := range RelativeErrors(p, &queries[i]) {
-				sum += e
-				n++
-			}
-		}
-		return sum / float64(n)
-	}
-
-	var optSum, baseSum float64
-	for seed := int64(1); seed <= seeds; seed++ {
-		optSum += meanErr(core.Config{
-			Kind: core.Quadtree, Height: 7, Epsilon: 0.5, Seed: seed,
-			Strategy: budget.Geometric{}, PostProcess: true,
-		})
-		baseSum += meanErr(core.Config{
+	var baseSum float64
+	for seed := int64(1); seed <= accuracySeeds; seed++ {
+		baseSum += accuracyMeanErr(t, core.Config{
 			Kind: core.Quadtree, Height: 7, Epsilon: 0.5, Seed: seed,
 			Strategy: budget.Uniform{}, PostProcess: false,
 		})
 	}
-	opt := optSum / seeds
-	base := baseSum / seeds
+	opt := quadOptMeanErr(t)
+	base := baseSum / accuracySeeds
 	t.Logf("mean relative error over %d seeds: quad-opt %.2f%%, uniform-no-post %.2f%% (ratio %.2fx)",
-		seeds, opt, base, base/opt)
+		accuracySeeds, opt, base, base/opt)
 
 	if math.IsNaN(opt) || opt > meanErrBound {
 		t.Errorf("quad-opt mean relative error %.2f%% exceeds pinned bound %.0f%% — "+
@@ -99,5 +165,42 @@ func TestQuadOptAccuracyRegression(t *testing.T) {
 	if !(opt*minImprovement < base) {
 		t.Errorf("quad-opt (%.2f%%) does not beat uniform-no-postprocessing (%.2f%%) by %.1fx — "+
 			"geometric budgets and/or OLS post-processing stopped helping", opt, base, minImprovement)
+	}
+}
+
+// TestPrivTreeAccuracyRegression pins the adaptive decomposition's headline
+// property on the same skewed workload: at equal ε, PrivTree's mean relative
+// error must stay within an absolute bound and be at least as good as
+// quad-opt — the paper's best all-round method — because its depth-
+// independent budget concentrates the whole count share on one release over
+// the adaptive leaf partition instead of splitting it across levels.
+//
+// Measured at the time of writing (defaults: CountFraction 0.7, θ = 0,
+// calibrated λ): over 30 seeds PrivTree sat at ≈4.6% against quad-opt's
+// ≈8.5% — a 1.9x gap — and was flat in MaxDepth from 7 through 9. The bound
+// (8%) and the as-good-as requirement still leave room for numeric churn
+// while catching a real regression in the splitting rule, the calibration,
+// or the leaf-only release.
+func TestPrivTreeAccuracyRegression(t *testing.T) {
+	const meanErrBound = 8.0 // percent
+
+	var privSum float64
+	for seed := int64(1); seed <= accuracySeeds; seed++ {
+		privSum += accuracyMeanErr(t, core.Config{
+			Kind: core.PrivTree, Height: 8, Epsilon: 0.5, Seed: seed,
+		})
+	}
+	priv := privSum / accuracySeeds
+	opt := quadOptMeanErr(t)
+	t.Logf("mean relative error over %d seeds: privtree %.2f%%, quad-opt %.2f%% (ratio %.2fx)",
+		accuracySeeds, priv, opt, opt/priv)
+
+	if math.IsNaN(priv) || priv > meanErrBound {
+		t.Errorf("privtree mean relative error %.2f%% exceeds pinned bound %.0f%% — "+
+			"the adaptive decomposition has regressed", priv, meanErrBound)
+	}
+	if !(priv <= opt) {
+		t.Errorf("privtree (%.2f%%) is worse than quad-opt (%.2f%%) at equal ε — "+
+			"the depth-independent budget advantage is gone", priv, opt)
 	}
 }

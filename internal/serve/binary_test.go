@@ -89,6 +89,10 @@ func TestScanDirBinary(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "beta.json"), releaseBytes(t, treeB), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Settle the mtimes so the rescan-skip assertions below are about the
+	// steady state, not the deliberately-rescanned fresh-mtime window.
+	ageFile(t, filepath.Join(dir, "alpha.bin"))
+	ageFile(t, filepath.Join(dir, "beta.json"))
 	reg := NewRegistry(64)
 	loaded, _, err := reg.ScanDir(dir)
 	if err != nil {
@@ -121,6 +125,7 @@ func TestScanDirBinary(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "alpha.json"), releaseBytes(t, treeB), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	ageFile(t, filepath.Join(dir, "alpha.json"))
 	if _, _, err := reg.ScanDir(dir); err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -146,10 +147,24 @@ func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, a.maxBody())
 	rel, err := a.Registry.Register(name, "api", body)
 	if err != nil {
+		if tooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"register %q: artifact exceeds the %d-byte body limit", name, a.maxBody())
+			return
+		}
 		writeError(w, http.StatusBadRequest, "register %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, infoOf(rel))
+}
+
+// tooLarge recognizes http.MaxBytesReader's failure inside a decode or
+// parse error chain: an over-limit request is the client asking for too
+// much (413), not a malformed body (400), so the two must not share a
+// status.
+func tooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
 }
 
 func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -235,6 +250,13 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	body := http.MaxBytesReader(w, r.Body, a.maxBody())
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		// An over--max-body request surfaces as a decode error; report it as
+		// 413 like the over-MaxBatch path below, not as a malformed body.
+		if tooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch body exceeds the %d-byte limit", a.maxBody())
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}

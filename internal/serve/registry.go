@@ -156,6 +156,33 @@ func (r *Release) Stats() StatsSnapshot {
 type fileState struct {
 	size    int64
 	modTime time.Time
+	// loadedAt is when this state was recorded. Filesystem mtimes can be as
+	// coarse as a second (ext4 without high-resolution timestamps) or two
+	// (FAT), so a file rewritten with an equal-length artifact within the
+	// same tick carries the exact {size, mtime} it was loaded with. The skip
+	// therefore only trusts an unchanged {size, mtime} once the mtime's
+	// granularity window had already closed when the state was recorded —
+	// any rewrite since then must bump the mtime out of the window.
+	loadedAt time.Time
+}
+
+// mtimeGranularity is the coarsest file-mtime resolution the rescan skip
+// defends against (FAT's 2s; ext4 and friends are finer).
+const mtimeGranularity = 2 * time.Second
+
+// settled reports whether the recorded {size, mtime} can be trusted to
+// detect any rewrite: a file whose mtime was still within one granularity
+// window of the load is rescanned unconditionally, because a same-size
+// rewrite inside that window would be invisible. An mtime far in the
+// *future* (skewed NFS server clock, artifact extracted with a bogus
+// timestamp) also counts as settled — a later rewrite by the same skewed
+// writer lands at a correspondingly later mtime, so the equality check
+// still catches it; treating it as unsettled would instead reload the
+// release on every scan forever, silently wiping the warm cache the skip
+// exists to preserve.
+func (f fileState) settled() bool {
+	return f.modTime.Add(mtimeGranularity).Before(f.loadedAt) ||
+		f.modTime.After(f.loadedAt.Add(mtimeGranularity))
 }
 
 // Registry is a named set of served releases. Reads take a shared lock for
@@ -315,15 +342,19 @@ func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
 			continue
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		st := fileState{size: info.Size(), modTime: info.ModTime()}
+		st := fileState{size: info.Size(), modTime: info.ModTime(), loadedAt: time.Now()}
 		g.mu.RLock()
 		prev, known := g.files[path]
 		live, exists := g.entries[name]
 		g.mu.RUnlock()
-		// Skip only when the live entry still comes from this file: an API
+		// Skip only when the live entry still comes from this file (an API
 		// POST under the same name must not block the file from being
-		// reinstated by the next rescan.
-		if known && exists && live.Source == path && prev == st {
+		// reinstated by the next rescan), {size, mtime} are unchanged, AND
+		// the recorded mtime had settled out of its granularity window — a
+		// same-size rewrite within the window leaves {size, mtime} intact on
+		// coarse-mtime filesystems, so an unsettled match proves nothing.
+		if known && exists && live.Source == path &&
+			prev.size == st.size && prev.modTime.Equal(st.modTime) && prev.settled() {
 			skipped = append(skipped, name)
 			continue
 		}

@@ -11,15 +11,16 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"psd"
 )
 
-// buildTree constructs a small deterministic tree for serving tests.
-func buildTree(t testing.TB, seed int64) *psd.Tree {
-	t.Helper()
-	dom := psd.NewRect(0, 0, 100, 100)
-	pts := make([]psd.Point, 0, 2000)
+// testPoints generates n deterministic points over [0,100)² via splitmix64
+// hashing (no internal/rng import). Every skip-th point is pulled into the
+// lower-left corner; skip 0 leaves the cloud uniform.
+func testPoints(seed int64, n, skip int) []psd.Point {
+	pts := make([]psd.Point, 0, n)
 	s := uint64(seed)*2862933555777941757 + 3037000493
 	next := func() float64 {
 		s += 0x9e3779b97f4a7c15
@@ -28,10 +29,21 @@ func buildTree(t testing.TB, seed int64) *psd.Tree {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		return float64((z^(z>>31))>>11) / float64(1<<53)
 	}
-	for i := 0; i < 2000; i++ {
-		pts = append(pts, psd.Point{X: 100 * next(), Y: 100 * next()})
+	for i := 0; i < n; i++ {
+		x, y := 100*next(), 100*next()
+		if skip > 0 && i%skip == 0 {
+			x, y = x*0.2, y*0.2
+		}
+		pts = append(pts, psd.Point{X: x, Y: y})
 	}
-	tree, err := psd.Build(pts, dom, psd.Options{
+	return pts
+}
+
+// buildTree constructs a small deterministic tree for serving tests.
+func buildTree(t testing.TB, seed int64) *psd.Tree {
+	t.Helper()
+	dom := psd.NewRect(0, 0, 100, 100)
+	tree, err := psd.Build(testPoints(seed, 2000, 0), dom, psd.Options{
 		Kind: psd.QuadtreeKind, Height: 4, Epsilon: 1, Seed: seed,
 	})
 	if err != nil {
@@ -257,12 +269,67 @@ func TestServerRejectsBadInput(t *testing.T) {
 	postJSON(t, srv.URL+"/v1/reload", nil, http.StatusBadRequest, nil)
 }
 
+// TestOverLimitBodiesReturn413 pins the HTTP status split between "too big"
+// and "malformed": a batch body over -max-body must be 413 (like the
+// over-MaxBatch rect-count path), never a generic 400 decode error — and
+// the same for an over-limit artifact upload.
+func TestOverLimitBodiesReturn413(t *testing.T) {
+	tree := buildTree(t, 10)
+	artifact := releaseBytes(t, tree)
+	reg := NewRegistry(16)
+	if _, err := reg.Register("r", "test", bytes.NewReader(artifact)); err != nil {
+		t.Fatal(err)
+	}
+	api := &API{Registry: reg, MaxBodyBytes: 512, MaxBatch: 100000}
+	srv := newTestServer(t, api)
+
+	// A structurally valid batch body that is simply too large.
+	big := map[string][][4]float64{"rects": {}}
+	for i := 0; i < 200; i++ {
+		big["rects"] = append(big["rects"], [4]float64{0, 0, float64(i), float64(i)})
+	}
+	body, _ := json.Marshal(big)
+	if len(body) <= 512 {
+		t.Fatalf("test body is only %d bytes", len(body))
+	}
+	postJSON(t, srv.URL+"/v1/releases/r/batch", body, http.StatusRequestEntityTooLarge, nil)
+
+	// Under the limit, the same shape still works.
+	small, _ := json.Marshal(map[string][][4]float64{"rects": {{0, 0, 1, 1}}})
+	postJSON(t, srv.URL+"/v1/releases/r/batch", small, http.StatusOK, nil)
+
+	// Artifact uploads over the limit are 413 too (and register nothing).
+	if len(artifact) <= 512 {
+		t.Fatalf("artifact is only %d bytes", len(artifact))
+	}
+	postJSON(t, srv.URL+"/v1/releases/toobig", artifact, http.StatusRequestEntityTooLarge, nil)
+	if _, ok := reg.Get("toobig"); ok {
+		t.Fatal("over-limit artifact was registered")
+	}
+
+	// A malformed (but small) body keeps its 400.
+	postJSON(t, srv.URL+"/v1/releases/r/batch", []byte("{bad"), http.StatusBadRequest, nil)
+}
+
+// ageFile pushes a file's mtime far enough into the past that a rescan can
+// trust an unchanged {size, mtime} (see fileState.settled).
+func ageFile(t *testing.T, path string) {
+	t.Helper()
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWatchDirReload(t *testing.T) {
 	dir := t.TempDir()
 	treeA := buildTree(t, 11)
 	if err := os.WriteFile(filepath.Join(dir, "alpha.json"), releaseBytes(t, treeA), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Settle the mtime: a freshly written file is deliberately rescanned
+	// until its mtime-granularity window closes (TestWatchDirRescansFreshMtime).
+	ageFile(t, filepath.Join(dir, "alpha.json"))
 	reg := NewRegistry(64)
 	api := &API{Registry: reg, WatchDir: dir}
 	srv := newTestServer(t, api)
@@ -293,6 +360,7 @@ func TestWatchDirReload(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "beta.json"), releaseBytes(t, treeB), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	ageFile(t, filepath.Join(dir, "beta.json"))
 	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -330,6 +398,97 @@ func TestWatchDirReload(t *testing.T) {
 	reinstated, _ := reg.Get("alpha")
 	if reinstated.Source == "api" {
 		t.Fatal("rescan did not reinstate the watched file over the API-posted release")
+	}
+}
+
+// TestWatchDirRescansFreshMtime is the regression test for the coarse-mtime
+// skip bug: a release overwritten with an equal-length artifact inside the
+// mtime's granularity window keeps the exact {size, mtime} it was loaded
+// with, so a skip keyed on that pair alone would serve the stale artifact
+// forever. A rescan must not trust an unsettled {size, mtime} match.
+func TestWatchDirRescansFreshMtime(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hot.json")
+	relA := releaseBytes(t, buildTree(t, 11))
+	relB := releaseBytes(t, buildTree(t, 12))
+	// Pad to a common length (trailing whitespace is valid JSON padding), so
+	// the rewrite below is size-preserving, as in the bug scenario.
+	for len(relA) < len(relB) {
+		relA = append(relA, '\n')
+	}
+	for len(relB) < len(relA) {
+		relB = append(relB, '\n')
+	}
+	if err := os.WriteFile(path, relA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(64)
+	if _, _, err := reg.ScanDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	q := psd.NewRect(0, 0, 50, 50)
+	relHot, _ := reg.Get("hot")
+	before, _ := relHot.Count(q)
+
+	// Same-tick rewrite: equal length, and the mtime pinned to the value the
+	// scan recorded — exactly what a coarse-mtime filesystem produces when
+	// the file is overwritten within the same second it was scanned.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, relB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, info.ModTime(), info.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := reg.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0] != "hot" {
+		t.Fatalf("rescan after a same-size same-mtime rewrite skipped the file (loaded %v)", loaded)
+	}
+	relHot, _ = reg.Get("hot")
+	after, _ := relHot.Count(q)
+	slab, err := psd.OpenSlab(bytes.NewReader(relB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != slab.Count(q) {
+		t.Fatalf("rescan served %v, want the rewritten artifact's %v (stale %v)", after, slab.Count(q), before)
+	}
+
+	// Once the mtime window has settled, unchanged files skip again — the
+	// warm-cache optimization is only suspended inside the window.
+	ageFile(t, path)
+	if loaded, _, err := reg.ScanDir(dir); err != nil || len(loaded) != 1 {
+		t.Fatalf("settling scan = %v, %v", loaded, err)
+	}
+	rel2, _ := reg.Get("hot")
+	if _, skipped, err := reg.ScanDir(dir); err != nil || len(skipped) != 1 {
+		t.Fatalf("settled rescan did not skip: %v, %v", skipped, err)
+	}
+	if rel3, _ := reg.Get("hot"); rel3 != rel2 {
+		t.Fatal("settled rescan re-registered an unchanged file")
+	}
+
+	// A far-future mtime (skewed writer clock) must settle too: perpetually
+	// reloading would wipe the warm cache on every scan with no signal.
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if loaded, _, err := reg.ScanDir(dir); err != nil || len(loaded) != 1 {
+		t.Fatalf("future-mtime scan = %v, %v", loaded, err)
+	}
+	rel4, _ := reg.Get("hot")
+	if _, skipped, err := reg.ScanDir(dir); err != nil || len(skipped) != 1 {
+		t.Fatalf("future-mtime rescan did not skip: %v, %v", skipped, err)
+	}
+	if rel5, _ := reg.Get("hot"); rel5 != rel4 {
+		t.Fatal("future-mtime rescan re-registered an unchanged file")
 	}
 }
 
@@ -482,6 +641,77 @@ func TestCountBatchIntoMatchesPerQuery(t *testing.T) {
 		for i := range want {
 			if wvals[i] != want[i] {
 				t.Fatalf("cache=%d: CountBatch[%d] = %v, want %v", cacheSize, i, wvals[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDegenerateRectsThroughCache pins degenerate query rectangles —
+// zero-width, zero-height, points, bounds exactly on node edges — through
+// the serving cache: the first (miss) answer, the cached answer, and the
+// batch-path answer must all equal the raw engine's, for both a fixed-height
+// and an adaptive (privtree, pruned + partially published) release.
+func TestDegenerateRectsThroughCache(t *testing.T) {
+	dom := psd.NewRect(0, 0, 100, 100)
+	// Skew half the mass into the corner so the adaptive tree actually prunes.
+	pts := testPoints(77, 3000, 2)
+	qs := []psd.Rect{
+		psd.NewRect(25, 10, 25, 90),     // zero width, on an h=2 node edge
+		psd.NewRect(10, 50, 90, 50),     // zero height, on the root midpoint
+		psd.NewRect(50, 50, 50, 50),     // point on the root corner
+		psd.NewRect(33, 77, 33, 77),     // interior point
+		psd.NewRect(0, 0, 0, 0),         // domain lower corner
+		psd.NewRect(100, 100, 100, 100), // domain upper corner (half-open: outside)
+		psd.NewRect(25, 25, 75, 75),     // all bounds on node edges
+		psd.NewRect(0, 0, 100, 100),     // the domain
+	}
+	for _, kind := range []psd.Kind{psd.QuadtreeKind, psd.PrivTreeKind} {
+		tree, err := psd.Build(pts, dom, psd.Options{Kind: kind, Height: 4, Epsilon: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab := tree.Seal()
+		var artifact bytes.Buffer
+		if err := tree.WriteBinaryRelease(&artifact); err != nil {
+			t.Fatal(err)
+		}
+		reg := NewRegistry(1024)
+		rel, err := reg.Register("d", "test", bytes.NewReader(artifact.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			want := slab.Count(q)
+			if got, cached := rel.Count(q); got != want || cached {
+				t.Errorf("%v: miss Count(%v) = %v (cached=%v), want %v", kind, q, got, cached, want)
+			}
+			if got, cached := rel.Count(q); got != want || !cached {
+				t.Errorf("%v: hit Count(%v) = %v (cached=%v), want %v", kind, q, got, cached, want)
+			}
+		}
+		// The batch path agrees, fully warm (all hits) and on a fresh
+		// registry (all misses through one engine call).
+		vals, hits := rel.CountBatch(qs)
+		if hits != len(qs) {
+			t.Errorf("%v: warm batch hits = %d, want %d", kind, hits, len(qs))
+		}
+		for i, q := range qs {
+			if want := slab.Count(q); vals[i] != want {
+				t.Errorf("%v: warm batch[%d] = %v, want %v", kind, i, vals[i], want)
+			}
+		}
+		reg2 := NewRegistry(1024)
+		rel2, err := reg2.Register("d2", "test", bytes.NewReader(artifact.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals2, hits2 := rel2.CountBatch(qs)
+		if hits2 != 0 {
+			t.Errorf("%v: cold batch hits = %d, want 0", kind, hits2)
+		}
+		for i, q := range qs {
+			if want := slab.Count(q); vals2[i] != want {
+				t.Errorf("%v: cold batch[%d] = %v, want %v", kind, i, vals2[i], want)
 			}
 		}
 	}

@@ -92,33 +92,47 @@ const (
 	// KDNoisyMeanTree is the baseline of Inan et al. [12]: splits are noisy
 	// means standing in for medians.
 	KDNoisyMeanTree
+	// PrivTreeKind is the adaptive decomposition of Zhang et al. (SIGMOD
+	// 2016): quadtree (midpoint) geometry whose recursion depth adapts to
+	// the data — a node splits while its depth-decayed noisy count exceeds
+	// a threshold — at a privacy cost independent of the depth, removing
+	// the Height hyperparameter the paper's decompositions fix up front.
+	// Configure it with Lambda, Theta and MaxDepth.
+	PrivTreeKind
 )
 
 // String returns the family name, or "unknown" for out-of-range values
 // (which would otherwise leak through as a bogus core kind).
 func (k Kind) String() string {
-	if k < QuadtreeKind || k > KDNoisyMeanTree {
+	ck, err := k.toCore()
+	if err != nil {
 		return "unknown"
 	}
-	return k.toCore().String()
+	return ck.String()
 }
 
-func (k Kind) toCore() core.Kind {
+// toCore maps the public Kind onto the core enumeration, rejecting
+// out-of-range values with a descriptive error instead of letting a bogus
+// kind leak downstream.
+func (k Kind) toCore() (core.Kind, error) {
 	switch k {
 	case QuadtreeKind:
-		return core.Quadtree
+		return core.Quadtree, nil
 	case KDTree:
-		return core.KD
+		return core.KD, nil
 	case KDHybrid:
-		return core.Hybrid
+		return core.Hybrid, nil
 	case HilbertRTree:
-		return core.HilbertR
+		return core.HilbertR, nil
 	case KDCellTree:
-		return core.KDCell
+		return core.KDCell, nil
 	case KDNoisyMeanTree:
-		return core.KDNoisyMean
+		return core.KDNoisyMean, nil
+	case PrivTreeKind:
+		return core.PrivTree, nil
 	default:
-		return core.Kind(-1)
+		return 0, fmt.Errorf("psd: unknown kind %d (valid kinds are QuadtreeKind (%d) through PrivTreeKind (%d))",
+			k, QuadtreeKind, PrivTreeKind)
 	}
 }
 
@@ -146,7 +160,8 @@ func (b BudgetStrategy) toStrategy() (budget.Strategy, error) {
 	case LeafOnlyBudget:
 		return budget.LeafOnly{}, nil
 	default:
-		return nil, fmt.Errorf("psd: unknown budget strategy %d", b)
+		return nil, fmt.Errorf("psd: unknown budget strategy %d (valid strategies are GeometricBudget (%d) through LeafOnlyBudget (%d))",
+			b, GeometricBudget, LeafOnlyBudget)
 	}
 }
 
@@ -201,6 +216,8 @@ type Options struct {
 
 	// DisablePostProcess turns off the OLS post-processing of Section 5.
 	// The default (false) runs it: it costs no privacy and only helps.
+	// PrivTreeKind has no OLS step (it publishes a single release over the
+	// adaptive leaf partition, not one per level), so the flag is ignored.
 	DisablePostProcess bool
 
 	// PruneThreshold enables Section 7 pruning: subtrees under nodes whose
@@ -209,6 +226,27 @@ type Options struct {
 
 	// HilbertOrder is the curve order for HilbertRTree (default 18).
 	HilbertOrder uint
+
+	// Lambda is the PrivTree splitting-noise scale λ (PrivTreeKind only).
+	// Zero selects the paper-faithful calibration λ = (2β−1)/((β−1)·ε_struct)
+	// with β = 4, the smallest scale for which the decomposition is
+	// ε_struct-DP (Zhang et al. 2016, Theorem 1), where ε_struct is the
+	// structure share of Epsilon (see CountFraction). Setting it explicitly
+	// overrides the calibration; PrivacyCost then reports the ε the chosen
+	// scale actually consumes.
+	Lambda float64
+
+	// Theta is the PrivTree split threshold θ (PrivTreeKind only): a node
+	// keeps splitting while its depth-decayed noisy count exceeds it. It
+	// spends no privacy budget; the default 0 is the paper's choice, and
+	// raising it stops the recursion earlier (coarser, smaller releases).
+	Theta float64
+
+	// MaxDepth caps the PrivTree adaptive recursion (PrivTreeKind only);
+	// it plays Height's role for the adaptive tree — PrivTree's budget is
+	// depth-independent, so the cap only bounds the released artifact's
+	// size. When set it overrides Height; zero falls back to Height.
+	MaxDepth int
 
 	// TuneToWorkload, when non-empty, overrides Budget with the
 	// workload-aware allocation Section 4.2 sketches: the per-level budget
@@ -255,13 +293,20 @@ func Build(points []Point, domain Rect, opts Options) (*Tree, error) {
 			Floor:   1e-6,
 		}
 	}
-	k := opts.Kind.toCore()
-	if k < 0 {
-		return nil, fmt.Errorf("psd: unknown kind %d", opts.Kind)
+	k, err := opts.Kind.toCore()
+	if err != nil {
+		return nil, err
+	}
+	height := opts.Height
+	if opts.Kind == PrivTreeKind && opts.MaxDepth != 0 {
+		height = opts.MaxDepth
+	}
+	if opts.Kind != PrivTreeKind && (opts.Lambda != 0 || opts.Theta != 0 || opts.MaxDepth != 0) {
+		return nil, fmt.Errorf("psd: Lambda/Theta/MaxDepth apply only to PrivTreeKind (got kind %v)", opts.Kind)
 	}
 	cfg := core.Config{
 		Kind:           k,
-		Height:         opts.Height,
+		Height:         height,
 		Epsilon:        opts.Epsilon,
 		Strategy:       strategy,
 		CountFraction:  opts.CountFraction,
@@ -270,6 +315,8 @@ func Build(points []Point, domain Rect, opts Options) (*Tree, error) {
 		PruneThreshold: opts.PruneThreshold,
 		Seed:           opts.Seed,
 		HilbertOrder:   opts.HilbertOrder,
+		Lambda:         opts.Lambda,
+		Theta:          opts.Theta,
 		Parallelism:    opts.Parallelism,
 	}
 	switch opts.Median {

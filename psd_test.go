@@ -2,6 +2,7 @@ package psd
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -77,8 +78,8 @@ func TestQuickstartFlow(t *testing.T) {
 func TestAllKindsBuild(t *testing.T) {
 	domain := NewRect(0, 0, 100, 100)
 	points := clusteredPoints(5000, domain, 2)
-	kinds := []Kind{QuadtreeKind, KDTree, KDHybrid, HilbertRTree, KDCellTree, KDNoisyMeanTree}
-	names := []string{"quadtree", "kd", "kd-hybrid", "hilbert-r", "kd-cell", "kd-noisymean"}
+	kinds := []Kind{QuadtreeKind, KDTree, KDHybrid, HilbertRTree, KDCellTree, KDNoisyMeanTree, PrivTreeKind}
+	names := []string{"quadtree", "kd", "kd-hybrid", "hilbert-r", "kd-cell", "kd-noisymean", "privtree"}
 	for i, k := range kinds {
 		tree, err := Build(points, domain, Options{Kind: k, Height: 4, Epsilon: 0.5, Seed: 3})
 		if err != nil {
@@ -121,24 +122,123 @@ func TestBuildErrors(t *testing.T) {
 	if _, err := Build(pts, domain, Options{Height: 2}); err == nil {
 		t.Error("zero epsilon should error")
 	}
-	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Kind: Kind(42)}); err == nil {
-		t.Error("unknown kind should error")
+	// Out-of-range enums fail with a descriptive error naming the bad value
+	// and the valid range — never by leaking a bogus value downstream.
+	for _, k := range []Kind{Kind(42), Kind(-1)} {
+		_, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Kind: k})
+		if err == nil {
+			t.Fatalf("kind %d: expected error", k)
+		}
+		if !strings.Contains(err.Error(), "unknown kind") || !strings.Contains(err.Error(), "PrivTreeKind") {
+			t.Errorf("kind %d: undescriptive error %q", k, err)
+		}
 	}
-	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Budget: BudgetStrategy(42)}); err == nil {
-		t.Error("unknown budget should error")
+	for _, b := range []BudgetStrategy{BudgetStrategy(42), BudgetStrategy(-3)} {
+		_, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Budget: b})
+		if err == nil {
+			t.Fatalf("budget %d: expected error", b)
+		}
+		if !strings.Contains(err.Error(), "unknown budget strategy") || !strings.Contains(err.Error(), "LeafOnlyBudget") {
+			t.Errorf("budget %d: undescriptive error %q", b, err)
+		}
 	}
 	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Median: MedianMethod(42)}); err == nil {
 		t.Error("unknown median should error")
+	}
+	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, Kind: KDTree, Theta: 3}); err == nil {
+		t.Error("Theta on a non-PrivTree kind should error")
+	}
+	if _, err := Build(pts, domain, Options{Height: 2, Epsilon: 1, MaxDepth: 4}); err == nil {
+		t.Error("MaxDepth on a non-PrivTree kind should error")
 	}
 	if _, err := Build(pts, Rect{}, Options{Height: 2, Epsilon: 1}); err == nil {
 		t.Error("empty domain should error")
 	}
 }
 
+// TestPrivTreePublicAPI pins the public surface of the adaptive kind:
+// MaxDepth plays Height's role, builds are byte-identical at every
+// parallelism for a fixed Seed (both artifact encodings), and Lambda/Theta
+// pass through.
+func TestPrivTreePublicAPI(t *testing.T) {
+	domain := NewRect(0, 0, 100, 100)
+	points := clusteredPoints(6000, domain, 13)
+	build := func(par int) *Tree {
+		tr, err := Build(points, domain, Options{
+			Kind: PrivTreeKind, MaxDepth: 5, Epsilon: 0.5, Seed: 99, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	seq := build(1)
+	if seq.Height() != 5 {
+		t.Fatalf("MaxDepth 5 built height %d", seq.Height())
+	}
+	if seq.Kind() != "privtree" {
+		t.Fatalf("kind %q", seq.Kind())
+	}
+	var wantJSON, wantBin strings.Builder
+	if err := seq.WriteRelease(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteBinaryRelease(&wantBin); err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 8} {
+		got := build(par)
+		var js, bin strings.Builder
+		if err := got.WriteRelease(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteBinaryRelease(&bin); err != nil {
+			t.Fatal(err)
+		}
+		if js.String() != wantJSON.String() {
+			t.Fatalf("par=%d: JSON release differs from sequential build", par)
+		}
+		if bin.String() != wantBin.String() {
+			t.Fatalf("par=%d: binary release differs from sequential build", par)
+		}
+	}
+
+	// The reopened artifact answers exactly as the builder's tree, through
+	// both the arena and the slab read path.
+	reopened, err := OpenRelease(strings.NewReader(wantJSON.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := OpenSlab(strings.NewReader(wantBin.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Rect{domain, NewRect(0, 0, 12.5, 12.5), NewRect(30, 40, 80, 41)} {
+		want := seq.Count(q)
+		if got := reopened.Count(q); got != want {
+			t.Errorf("reopened Count(%v) = %v, want %v", q, got, want)
+		}
+		if got := slab.Count(q); got != want {
+			t.Errorf("slab Count(%v) = %v, want %v", q, got, want)
+		}
+	}
+
+	// A higher threshold coarsens the release through the public options.
+	coarse, err := Build(points, domain, Options{
+		Kind: PrivTreeKind, MaxDepth: 5, Epsilon: 0.5, Seed: 99, Theta: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.NumRegions() > seq.NumRegions() {
+		t.Errorf("theta=200 released %d regions, theta=0 %d", coarse.NumRegions(), seq.NumRegions())
+	}
+}
+
 func TestRegionsTileDomainForPartitionKinds(t *testing.T) {
 	domain := NewRect(0, 0, 64, 64)
 	points := clusteredPoints(2000, domain, 8)
-	for _, k := range []Kind{QuadtreeKind, KDTree, KDHybrid, KDCellTree} {
+	for _, k := range []Kind{QuadtreeKind, KDTree, KDHybrid, KDCellTree, PrivTreeKind} {
 		tree, err := Build(points, domain, Options{Kind: k, Height: 3, Epsilon: 1, Seed: 9})
 		if err != nil {
 			t.Fatal(err)
