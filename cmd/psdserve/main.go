@@ -19,7 +19,9 @@
 // Endpoints:
 //
 //	GET    /healthz                      liveness
-//	GET    /v1/releases                  list releases
+//	GET    /readyz                       readiness (503 while loading/draining)
+//	GET    /stats                        process-level fault/traffic counters
+//	GET    /v1/releases                  list releases (+ quarantine)
 //	POST   /v1/releases/{name}           register/replace a release (hot reload)
 //	DELETE /v1/releases/{name}           unregister
 //	GET    /v1/releases/{name}/count     ?rect=lox,loy,hix,hiy
@@ -28,9 +30,10 @@
 //	GET    /v1/releases/{name}/stats     query counts, cache hit rate, latency
 //	POST   /v1/reload                    rescan -dir (changed files only)
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
-// in-flight requests finish (up to -shutdown-timeout), then the process
-// exits.
+// The server drains gracefully on SIGINT/SIGTERM: /readyz flips to 503
+// first (so load balancers stop routing new work), then after -drain-delay
+// the listener closes and in-flight requests finish (up to
+// -shutdown-timeout) before the process exits 0.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,69 +68,117 @@ func (v *nameEqPath) Set(s string) error {
 }
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("dir", "", "watch directory: serve every *.json/*.bin in it, rescanned by POST /v1/reload")
-	cacheSize := flag.Int("cache", 1<<16, "per-release answer cache capacity (0 disables)")
-	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes")
-	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rectangles per batch request")
-	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
-	var releases nameEqPath
-	flag.Var(&releases, "release", "release to serve as name=path (repeatable)")
-	flag.Parse()
-
 	logger := log.New(os.Stderr, "psdserve: ", log.LstdFlags)
+	if err := run(os.Args[1:], logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run is the whole server lifecycle, separated from main so startup
+// failures are testable: any error — bad flags aside (the flag package
+// exits itself) — comes back here and exits the process non-zero through
+// one path, with nothing half-started left behind.
+func run(args []string, logger *log.Logger) error {
+	fs := flag.NewFlagSet("psdserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dir := fs.String("dir", "", "watch directory: serve every *.json/*.bin in it, rescanned by POST /v1/reload")
+	cacheSize := fs.Int("cache", 1<<16, "per-release answer cache capacity (0 disables)")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes")
+	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch, "max rectangles per batch request")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently served /v1 requests before shedding with 503 (0 disables)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline; late traversals are abandoned and answered 503 (0 disables)")
+	drainDelay := fs.Duration("drain-delay", 0, "pause between flipping /readyz to 503 and closing the listener, so load balancers stop routing first")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	var releases nameEqPath
+	fs.Var(&releases, "release", "release to serve as name=path (repeatable)")
+	fs.Parse(args)
+
 	reg := serve.NewRegistry(*cacheSize)
+	reg.SetLogger(logger)
+	// An explicitly named release that does not load is a configuration
+	// error: exit rather than silently serve less than asked.
 	for _, r := range releases {
 		rel, err := reg.LoadFile(r.name, r.path)
 		if err != nil {
-			logger.Fatalf("loading %s: %v", r.path, err)
+			return fmt.Errorf("loading %s: %w", r.path, err)
 		}
 		logger.Printf("serving %q: %s h=%d eps=%g, %d regions (%d bytes)",
 			rel.Name, rel.Slab.Kind(), rel.Slab.Height(), rel.Slab.PrivacyCost(),
 			rel.NumRegions, rel.Bytes)
 	}
 	if *dir != "" {
+		// The directory itself must be readable (glob quietly matches
+		// nothing on a missing path, so check explicitly) — but individual
+		// bad artifacts inside it are quarantined, not fatal: a replica
+		// must come up with whatever does load.
+		info, err := os.Stat(*dir)
+		if err != nil {
+			return fmt.Errorf("watch directory: %w", err)
+		}
+		if !info.IsDir() {
+			return fmt.Errorf("watch directory %s: not a directory", *dir)
+		}
 		loaded, _, err := reg.ScanDir(*dir)
 		if err != nil {
-			logger.Fatalf("scanning %s: %v", *dir, err)
+			logger.Printf("scanning %s (bad artifacts quarantined, serving the rest): %v", *dir, err)
 		}
 		logger.Printf("loaded %d release(s) from %s: %v", len(loaded), *dir, loaded)
 	}
 	if reg.Len() == 0 && *dir == "" {
-		logger.Fatal("nothing to serve: pass -release name=path or -dir (releases can also be POSTed at runtime)")
+		return errors.New("nothing to serve: pass -release name=path or -dir (releases can also be POSTed at runtime)")
 	}
 
 	api := &serve.API{
-		Registry:     reg,
-		WatchDir:     *dir,
-		MaxBodyBytes: *maxBody,
-		MaxBatch:     *maxBatch,
+		Registry:       reg,
+		WatchDir:       *dir,
+		MaxBodyBytes:   *maxBody,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *requestTimeout,
+		Logger:         logger,
 	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// Bind before declaring readiness: a replica that cannot listen must
+	// exit non-zero, not report ready to a balancer.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("bind %s: %w", *addr, err)
+	}
+	api.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (%d releases)", *addr, reg.Len())
-		errc <- srv.ListenAndServe()
+		logger.Printf("listening on %s (%d releases)", ln.Addr(), reg.Len())
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
-		logger.Fatalf("serve: %v", err)
+		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
 	stop()
-	logger.Printf("shutting down (grace %s)", *shutdownTimeout)
+
+	// Drain: readiness flips BEFORE the listener closes, so the balancer
+	// routes away while this replica still accepts (and finishes) work;
+	// only after the drain delay does Shutdown stop accepting and wait out
+	// the in-flight requests.
+	api.SetReady(false)
+	logger.Printf("draining: /readyz now 503 (delay %s, grace %s)", *drainDelay, *shutdownTimeout)
+	if *drainDelay > 0 {
+		time.Sleep(*drainDelay)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatalf("shutdown: %v", err)
+		return fmt.Errorf("shutdown: %w", err)
 	}
 	logger.Print("bye")
+	return nil
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -203,5 +205,74 @@ func TestEndToEnd(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatalf("server did not shut down; logs:\n%s", logs.String())
+	}
+}
+
+// TestStartupErrors pins the non-zero-exit contract: every misconfiguration
+// — unreadable release, missing or non-directory watch dir, nothing to
+// serve, unbindable address — must surface as a descriptive error from run,
+// not a silent partial start.
+func TestStartupErrors(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(repoRoot, "testdata", "release_quadtree.json")
+
+	// Occupy a port so binding it fails.
+	busy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+
+	notDir := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(notDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the error must carry
+	}{
+		{
+			name: "unreadable release",
+			args: []string{"-release", "bad=" + filepath.Join(t.TempDir(), "no-such.json")},
+			want: "no-such.json",
+		},
+		{
+			name: "missing watch dir",
+			args: []string{"-dir", filepath.Join(t.TempDir(), "absent")},
+			want: "watch directory",
+		},
+		{
+			name: "watch dir is a file",
+			args: []string{"-dir", notDir},
+			want: "not a directory",
+		},
+		{
+			name: "nothing to serve",
+			args: nil,
+			want: "nothing to serve",
+		},
+		{
+			name: "bind failure",
+			args: []string{"-release", "q=" + fixture, "-addr", busy.Addr().String()},
+			want: "bind",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var logs bytes.Buffer
+			logger := log.New(&logs, "", 0)
+			err := run(tc.args, logger)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want mention of %q", tc.args, err, tc.want)
+			}
+		})
 	}
 }

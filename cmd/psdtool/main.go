@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"psd"
+	"psd/internal/atomicfile"
 )
 
 // rectFlag accumulates repeated -query flags.
@@ -203,29 +204,12 @@ func formatOf(path string) string {
 	return "json"
 }
 
-// writeArtifact buffers write's output into a freshly created path,
-// returning the byte count.
+// writeArtifact publishes write's output at path crash-safely — temp file,
+// fsync, atomic rename — returning the byte count. A psdserve watch-dir
+// rescan (or any reader) racing the write sees either the previous complete
+// artifact or the new one, never a prefix.
 func writeArtifact(path string, write func(io.Writer) error) (int64, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, err
-	}
-	bw := bufio.NewWriter(f)
-	err = write(bw)
-	if err == nil {
-		err = bw.Flush()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return 0, err
-	}
-	info, err := os.Stat(path)
-	if err != nil {
-		return 0, err
-	}
-	return info.Size(), nil
+	return atomicfile.Write(path, write)
 }
 
 // writeRelease serializes the tree's release to path in the

@@ -1,0 +1,73 @@
+// Package atomicfile writes files crash-safely. A release artifact is
+// published by writing it somewhere a server's watch-dir rescan will pick it
+// up — and a rescan that runs mid-write must never see half an artifact. The
+// classic discipline: stream into a hidden temp file in the destination
+// directory (same filesystem, so the final step can be a rename), fsync it,
+// then atomically rename it over the destination. Readers see either the old
+// complete file or the new complete file, never a prefix; a crash at any
+// point leaves at worst a hidden temp file behind, which directory globs for
+// published artifacts do not match.
+package atomicfile
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write streams write's output into path atomically, returning the byte
+// count. On any failure the destination is untouched (whatever was at path
+// before is still there) and the temp file is removed.
+func Write(path string, write func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	n, err := writeTo(tmp, write)
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	// Sync the directory so the rename itself survives a crash. Best-effort:
+	// some filesystems refuse directory fsync, and the data is already safe.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return n, nil
+}
+
+// writeTo fills the temp file: buffered write, flush, fsync, then the mode
+// fix-up (CreateTemp defaults to 0600; published artifacts are world-
+// readable like any os.Create output).
+func writeTo(tmp *os.File, write func(io.Writer) error) (int64, error) {
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

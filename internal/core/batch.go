@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"psd/internal/geom"
 	"psd/internal/par"
@@ -90,6 +91,10 @@ type batchScratch struct {
 	// Counters stay in scalar fields across the recursion; the caller
 	// flushes them into a QueryStats once per shard.
 	visited, added, partials int
+	// cancel, when non-nil, is this worker's deadline token (cancel.go):
+	// the traversal polls it at bounded checkpoints and unwinds when it
+	// fires. Cleared before the scratch returns to the pool.
+	cancel *cancelToken
 }
 
 // batchState is the per-call clustering state: the locality sort keys and
@@ -109,7 +114,7 @@ func (s *Slab) getBatchScratch() *batchScratch {
 }
 
 func (s *Slab) putBatchScratch(sc *batchScratch) {
-	sc.qb, sc.acc = nil, nil
+	sc.qb, sc.acc, sc.cancel = nil, nil, nil
 	s.batchScratches.Put(sc)
 }
 
@@ -150,6 +155,24 @@ func (s *Slab) CountBatchWorkers(qs []geom.Rect, workers int) []float64 {
 // stay dense and the slab streams near-sequentially. Answers and
 // statistics are identical at every worker count.
 func (s *Slab) CountBatchInto(out []float64, qs []geom.Rect, workers int) QueryStats {
+	return s.countBatchInto(out, qs, workers, nil, nil)
+}
+
+// batchCancelToken builds one worker's deadline token over the batch's
+// shared done channel, or nil when the batch runs without a deadline.
+func batchCancelToken(done <-chan struct{}, fired *atomic.Bool) *cancelToken {
+	if done == nil {
+		return nil
+	}
+	return &cancelToken{done: done, remain: cancelCheckInterval, fired: fired}
+}
+
+// countBatchInto is the batch engine proper. done, when non-nil, is the
+// caller's cancellation channel (CountBatchIntoCtx): every traversal worker
+// polls it at bounded checkpoints through its own cancelToken and unwinds
+// when it fires, latching fired so the caller knows the output is partial
+// and must be discarded. With done == nil this is exactly the plain path.
+func (s *Slab) countBatchInto(out []float64, qs []geom.Rect, workers int, done <-chan struct{}, fired *atomic.Bool) QueryStats {
 	if len(out) != len(qs) {
 		panic("core: CountBatchInto output length does not match batch length")
 	}
@@ -163,9 +186,10 @@ func (s *Slab) CountBatchInto(out []float64, qs []geom.Rect, workers int) QueryS
 	// skip the clustering machinery (the serving layer hits this on warm
 	// caches with a handful of misses).
 	if n <= batchThinList {
+		tok := batchCancelToken(done, fired)
 		stack := s.getStack()
 		for i, q := range qs {
-			out[i] = s.queryIter(q, stack, &st)
+			out[i] = s.queryIter(q, stack, &st, tok)
 		}
 		s.putStack(stack)
 		return st
@@ -211,6 +235,7 @@ func (s *Slab) CountBatchInto(out []float64, qs []geom.Rect, workers int) QueryS
 			acc[i] = 0
 		}
 		sc.qb, sc.acc = qb, acc
+		sc.cancel = batchCancelToken(done, fired)
 		s.countBatchShard(sc, &st)
 		for i, qi := range order {
 			out[qi] = acc[i]
@@ -251,6 +276,7 @@ func (s *Slab) CountBatchInto(out []float64, qs []geom.Rect, workers int) QueryS
 				acc[i] = 0
 			}
 			sc.qb, sc.acc = qb, acc
+			sc.cancel = batchCancelToken(done, fired)
 			s.countBatchShard(sc, &stats[k])
 			for i, qi := range ids {
 				out[qi] = acc[i]
@@ -370,11 +396,13 @@ func (s *Slab) countBatchShard(sc *batchScratch, st *QueryStats) {
 	}
 	sc.visited += len(qb) // every query pops the root exactly once
 	sc.active = active
-	if len(active) > batchThinList {
-		s.batchNode(sc, 0, 0, active)
-	} else {
-		for _, qi := range active {
-			s.batchSingle(sc, 0, 0, qi)
+	if !sc.cancel.tick(len(qb)) {
+		if len(active) > batchThinList {
+			s.batchNode(sc, 0, 0, active)
+		} else {
+			for _, qi := range active {
+				s.batchSingle(sc, 0, 0, qi)
+			}
 		}
 	}
 	st.NodesAdded += sc.added
@@ -479,6 +507,9 @@ func leafOverlap(a, lo, hi, lo2, hi2 float64) float64 {
 // any of them), recursing child by child in order so each query's
 // floating-point accumulation order matches its own DFS exactly.
 func (s *Slab) batchNode(sc *batchScratch, idx, d int, active []int32) {
+	if sc.cancel.tick(4 * len(active)) {
+		return // deadline fired: the caller discards the partial batch
+	}
 	nodes := s.nodes
 	if d+1 == s.height && !(s.hasPruned && s.pruned.get(idx)) {
 		cs := int(s.offsets[d+1]) + (idx-int(s.offsets[d]))*4
@@ -627,6 +658,9 @@ func (s *Slab) batchSingle(sc *batchScratch, idx, d int, qi int32) {
 	sum := sc.acc[qi]
 	visited, added, partials := -1, 0, 0
 	for len(stk) > 0 {
+		if sc.cancel.tick(1) {
+			break // deadline fired: the caller discards the partial batch
+		}
 		e := stk[len(stk)-1]
 		stk = stk[:len(stk)-1]
 		visited++

@@ -188,3 +188,91 @@ func TestReadBinaryZeroesUnpublishedCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestReadBinaryHostileHeaders pins the allocation-gating property the
+// decoder claims: a 56-byte header making absurd size claims — height past
+// the cap, a node count that cannot match any tree, a pruned count past the
+// node count — must be rejected before any node-sized allocation happens.
+// A hostile artifact is bytes on disk; it must not cost memory proportional
+// to what it *claims* to be.
+func TestReadBinaryHostileHeaders(t *testing.T) {
+	// A minimal structurally-plausible header for a height-0 tree (1 node),
+	// mutated per case. Each hostile header is complete (56 bytes) but has
+	// no body at all, so acceptance of the header would hit EOF next.
+	base := make([]byte, binaryHeaderSize)
+	copy(base, binaryMagic[:])
+	base[4] = binaryVersion
+	base[5] = 0 // quadtree
+	base[6] = 4
+	base[7] = 0 // height 0 -> 1 node
+	binary.LittleEndian.PutUint64(base[8:], math.Float64bits(1.0))   // epsilon
+	binary.LittleEndian.PutUint64(base[16:], math.Float64bits(0))    // lox
+	binary.LittleEndian.PutUint64(base[24:], math.Float64bits(0))    // loy
+	binary.LittleEndian.PutUint64(base[32:], math.Float64bits(64.0)) // hix
+	binary.LittleEndian.PutUint64(base[40:], math.Float64bits(64.0)) // hiy
+	binary.LittleEndian.PutUint32(base[48:], 1)                      // nodes
+	binary.LittleEndian.PutUint32(base[52:], 0)                      // pruned
+
+	hostile := map[string][]byte{
+		// Height 13 declares ~89M nodes, past the MaxNodes arena cap.
+		"height over arena cap": corrupt(base, 7, 13),
+		// Max height byte: 4^256 nodes if anyone tried to compute it.
+		"height 255": corrupt(base, 7, 255),
+		// Node count u32 maxed out against a height-0 shape.
+		"node count over-claim": corrupt(base, 48, 0xff, 0xff, 0xff, 0xff),
+		// Pruned count exceeds the (valid) node count.
+		"pruned over-claim": corrupt(base, 52, 0xff, 0xff, 0xff, 0xff),
+	}
+	for name, hdr := range hostile {
+		hdr := hdr
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil {
+				t.Fatal("ReadBinary accepted a hostile header")
+			}
+			// Rejection must be allocation-free (modulo the error value):
+			// the header checks run before newSlab.
+			allocs := testing.AllocsPerRun(10, func() {
+				ReadBinary(bytes.NewReader(hdr))
+			})
+			if allocs > 8 {
+				t.Errorf("rejecting a hostile header cost %.0f allocs — node-sized work before validation?", allocs)
+			}
+		})
+	}
+}
+
+// TestReadBinaryTruncatedSections cuts a valid artifact at (and one byte
+// into) every section boundary — header, each of the five columns, the
+// published bitset, the pruned trailer. Every cut must produce a decode
+// error, never a panic or a short successful read.
+func TestReadBinaryTruncatedSections(t *testing.T) {
+	dom := geom.NewRect(0, 0, 64, 64)
+	pts := randomPoints(1024, dom, 83)
+	p, err := Build(pts, dom, Config{Kind: Hybrid, Height: 3, Epsilon: 1, Seed: 84, PostProcess: true, PruneThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := binaryBytes(t, p)
+	const nodes = 85 // (4^4-1)/3 for height 3
+	colBytes := 8 * nodes
+	bitsetOff := binaryHeaderSize + 5*colBytes
+	trailerOff := bitsetOff + 8*((nodes+63)/64)
+	if trailerOff >= len(raw) {
+		t.Fatalf("fixture has no pruned trailer (len %d, trailer at %d): pick a prunier config", len(raw), trailerOff)
+	}
+
+	cuts := []int{0, 1, binaryHeaderSize - 1, binaryHeaderSize}
+	for col := 1; col <= 5; col++ {
+		off := binaryHeaderSize + col*colBytes
+		cuts = append(cuts, off-1, off)
+	}
+	cuts = append(cuts, bitsetOff+1, trailerOff, len(raw)-1)
+	for _, cut := range cuts {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("ReadBinary accepted an artifact truncated to %d of %d bytes", cut, len(raw))
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("untruncated fixture must decode: %v", err)
+	}
+}

@@ -2,12 +2,19 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"sync"
 	"testing"
 
 	"psd/internal/geom"
 )
+
+// nodeCountOf reads the node-count field of a format-v2 header (the seeds
+// are all valid artifacts, so the field is trustworthy here).
+func nodeCountOf(vb []byte) int {
+	return int(binary.LittleEndian.Uint32(vb[48:]))
+}
 
 // FuzzReadRelease feeds arbitrary (and mutated-valid) bytes through the
 // full untrusted-artifact paths the server uses — the JSON decoder and the
@@ -60,8 +67,34 @@ func FuzzReadRelease(f *testing.F) {
 		} {
 			f.Add(mut)
 		}
+		// Truncations at every section boundary: end of header, end of each
+		// float64 column, end of the published bitset, one byte shy of the
+		// full artifact (a torn pruned trailer).
+		nodes := nodeCountOf(vb)
+		for col := 1; col <= 5; col++ {
+			if off := binaryHeaderSize + col*8*nodes; off <= len(vb) {
+				f.Add(vb[:off])
+			}
+		}
+		if off := binaryHeaderSize + 5*8*nodes + 8*((nodes+63)/64); off <= len(vb) {
+			f.Add(vb[:off])
+		}
+		f.Add(vb[:len(vb)-1])
+		// Over-length claims: header fields inflated far past what the body
+		// (or any tree) could carry — node count maxed, height past the
+		// arena cap, pruned count past the node count.
+		f.Add(corrupt(vb, 48, 0xff, 0xff, 0xff, 0xff))
+		f.Add(corrupt(vb, 7, 13))
+		f.Add(corrupt(vb, 7, 255))
+		f.Add(corrupt(vb, 52, 0xff, 0xff, 0xff, 0x7f))
 	}
 	f.Add([]byte(`{}`))
+	// A bare over-claiming header with no body at all: the decoder must
+	// reject it before any node-sized allocation.
+	hostile := make([]byte, binaryHeaderSize)
+	copy(hostile, "PSD2")
+	hostile[4], hostile[6], hostile[7] = 2, 4, 12
+	f.Add(hostile)
 	f.Add([]byte(`{"version":1,"kind":"quadtree","fanout":4,"height":0,` +
 		`"domain":[0,0,1,1],"rects":[[0,0,1,1]],"counts":[null]}`))
 	f.Add([]byte("PSD2"))

@@ -323,7 +323,7 @@ func (s *Slab) putStack(st *[]int32) { s.stacks.Put(st) }
 func (s *Slab) Query(q geom.Rect) float64 {
 	var st QueryStats
 	stack := s.getStack()
-	sum := s.queryIter(q, stack, &st)
+	sum := s.queryIter(q, stack, &st, nil)
 	s.putStack(stack)
 	return sum
 }
@@ -332,7 +332,7 @@ func (s *Slab) Query(q geom.Rect) float64 {
 func (s *Slab) QueryWithStats(q geom.Rect) (float64, QueryStats) {
 	var st QueryStats
 	stack := s.getStack()
-	sum := s.queryIter(q, stack, &st)
+	sum := s.queryIter(q, stack, &st, nil)
 	s.putStack(stack)
 	return sum, st
 }
@@ -352,7 +352,7 @@ func (s *Slab) CountAllWorkers(qs []geom.Rect, workers int) []float64 {
 		stack := s.getStack()
 		var st QueryStats
 		for i := lo; i < hi; i++ {
-			out[i] = s.queryIter(qs[i], stack, &st)
+			out[i] = s.queryIter(qs[i], stack, &st, nil)
 		}
 		s.putStack(stack)
 	})
@@ -375,7 +375,12 @@ const slabAddWhole = 1
 // re-pops them), and children fully inside it are pushed pre-classified, so
 // their pop is a single est load. The push order keeps pops — and therefore
 // the floating-point accumulation order — exactly the arena path's.
-func (s *Slab) queryIter(q geom.Rect, stack *[]int32, st *QueryStats) float64 {
+//
+// cancel, when non-nil, is polled at bounded checkpoints (see cancel.go);
+// when it fires the walk abandons its partial sum, which the *Ctx callers
+// discard. The plain callers pass nil and pay one predictable branch per
+// pop.
+func (s *Slab) queryIter(q geom.Rect, stack *[]int32, st *QueryStats, cancel *cancelToken) float64 {
 	if q.Lo.X != q.Lo.X || q.Lo.Y != q.Lo.Y || q.Hi.X != q.Hi.X || q.Hi.Y != q.Hi.Y {
 		// A NaN bound fails every interval test: like the arena path, the
 		// walk visits the root, finds no intersection, and answers 0.
@@ -391,6 +396,9 @@ func (s *Slab) queryIter(q geom.Rect, stack *[]int32, st *QueryStats) float64 {
 	// end.
 	var visited, added, partials int
 	for len(stk) > 0 {
+		if cancel.tick(1) {
+			break // deadline fired: the caller discards the partial sum
+		}
 		e := stk[len(stk)-1]
 		stk = stk[:len(stk)-1]
 		visited++

@@ -1,0 +1,204 @@
+// Package faultfs is a fault-injecting filesystem for the serving tier's
+// robustness tests. It implements the registry's filesystem seam (serve.FS,
+// structurally) over the real filesystem, but lets a test script failures
+// per path: failed opens and stats, read errors after N bytes, truncated
+// content served with a clean EOF, and injected delays. Faults can be
+// bounded (fire k times, then heal), which is how transient-versus-permanent
+// classification and retry/backoff behavior are proven deterministically.
+//
+// The harness also counts opens per path, which is what pins the quarantine
+// contract "never more than one decode attempt per file change": the test
+// rescans a quarantined file many times and asserts the open count stayed
+// put.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Fault describes what should go wrong for one path. The zero value injects
+// nothing. Faults compose: a Delay applies before whatever failure follows.
+type Fault struct {
+	// OpenErr fails Open outright.
+	OpenErr error
+	// StatErr fails Stat outright.
+	StatErr error
+	// ReadErr, when non-nil, fails reads after ReadErrAfter bytes have been
+	// served — a mid-stream I/O error, the transient-failure shape.
+	ReadErr      error
+	ReadErrAfter int
+	// TruncateAt, when > 0, serves only the first TruncateAt bytes and then
+	// a clean EOF — exactly what a reader sees after a partial (non-atomic)
+	// write that was interrupted. The registry must classify this as
+	// permanent corruption, not a retryable I/O error.
+	TruncateAt int
+	// Delay stalls Open and Stat — enough to hold a rescan mid-flight while
+	// a test mutates the directory underneath it.
+	Delay time.Duration
+	// Times bounds how many faulted operations fire before the fault heals
+	// itself (0 means forever). Each failed Open/Stat and each faulted open
+	// of a truncating/erroring file consumes one.
+	Times int
+}
+
+// FS is the injectable filesystem. The zero value is not usable; call New.
+type FS struct {
+	mu     sync.Mutex
+	faults map[string]*Fault
+	opens  map[string]int
+}
+
+// New returns a fault-free FS over the real filesystem.
+func New() *FS {
+	return &FS{faults: make(map[string]*Fault), opens: make(map[string]int)}
+}
+
+// Set installs (or replaces) the fault for path.
+func (f *FS) Set(path string, flt Fault) {
+	f.mu.Lock()
+	f.faults[path] = &flt
+	f.mu.Unlock()
+}
+
+// Clear heals path.
+func (f *FS) Clear(path string) {
+	f.mu.Lock()
+	delete(f.faults, path)
+	f.mu.Unlock()
+}
+
+// OpenCount reports how many times path was opened — the decode-attempt
+// counter of the quarantine tests (every registry decode attempt starts
+// with exactly one Open).
+func (f *FS) OpenCount(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opens[path]
+}
+
+// ResetCounts zeroes every open counter.
+func (f *FS) ResetCounts() {
+	f.mu.Lock()
+	f.opens = make(map[string]int)
+	f.mu.Unlock()
+}
+
+// take fetches the active fault for path, consuming one bounded application
+// if the fault would actually fire for this operation.
+func (f *FS) take(path string) Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	flt := f.faults[path]
+	if flt == nil {
+		return Fault{}
+	}
+	out := *flt
+	if flt.Times > 0 {
+		flt.Times--
+		if flt.Times == 0 {
+			delete(f.faults, path)
+		}
+	}
+	return out
+}
+
+// peek fetches the active fault without consuming an application (for
+// operations the fault does not affect).
+func (f *FS) peek(path string) Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if flt := f.faults[path]; flt != nil {
+		return *flt
+	}
+	return Fault{}
+}
+
+// faulted reports whether flt would alter an Open (directly or through the
+// reader it returns).
+func openFaulted(flt Fault) bool {
+	return flt.OpenErr != nil || flt.ReadErr != nil || flt.TruncateAt > 0
+}
+
+// Open implements the seam: the real file, filtered through path's fault.
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	f.opens[name]++
+	f.mu.Unlock()
+	flt := f.peek(name)
+	if openFaulted(flt) {
+		flt = f.take(name)
+	}
+	if flt.Delay > 0 {
+		time.Sleep(flt.Delay)
+	}
+	if flt.OpenErr != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: flt.OpenErr}
+	}
+	file, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if flt.ReadErr == nil && flt.TruncateAt <= 0 {
+		return file, nil
+	}
+	return &faultReader{file: file, fault: flt}, nil
+}
+
+// Stat implements the seam.
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	flt := f.peek(name)
+	if flt.StatErr != nil {
+		flt = f.take(name)
+	}
+	if flt.Delay > 0 {
+		time.Sleep(flt.Delay)
+	}
+	if flt.StatErr != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: flt.StatErr}
+	}
+	return os.Stat(name)
+}
+
+// Glob implements the seam (never faulted: directory listing is not an
+// interesting failure surface for the registry — a missing file already
+// covers it).
+func (f *FS) Glob(pattern string) ([]string, error) {
+	return filepath.Glob(pattern)
+}
+
+// faultReader serves a file through a read fault: clean EOF at TruncateAt,
+// or ReadErr once ReadErrAfter bytes have been served.
+type faultReader struct {
+	file   *os.File
+	fault  Fault
+	served int
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	// ReadErr wins over TruncateAt when both are set.
+	if r.fault.ReadErr != nil {
+		if r.served >= r.fault.ReadErrAfter {
+			return 0, r.fault.ReadErr
+		}
+		if rem := r.fault.ReadErrAfter - r.served; len(p) > rem {
+			p = p[:rem]
+		}
+	} else if r.fault.TruncateAt > 0 {
+		if r.served >= r.fault.TruncateAt {
+			return 0, io.EOF
+		}
+		if rem := r.fault.TruncateAt - r.served; len(p) > rem {
+			p = p[:rem]
+		}
+	}
+	n, err := r.file.Read(p)
+	r.served += n
+	return n, err
+}
+
+func (r *faultReader) Close() error { return r.file.Close() }

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the registry's filesystem seam: every byte the watch-dir scanner and
+// file loader touch flows through it. Production uses the real filesystem
+// (osFS); the fault-injection tests swap in faultfs.FS to make I/O fail,
+// truncate, or stall on demand, which is how the quarantine, retry, and
+// partial-write behavior is proven deterministically.
+type FS interface {
+	Open(name string) (io.ReadCloser, error)
+	Stat(name string) (fs.FileInfo, error)
+	Glob(pattern string) ([]string, error)
+}
+
+// osFS is the real filesystem, the default seam.
+type osFS struct{}
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)   { return os.Stat(name) }
+func (osFS) Glob(pattern string) ([]string, error)   { return filepath.Glob(pattern) }
+
+// readTracker wraps an artifact reader and remembers whether any read failed
+// with a genuine I/O error (as opposed to a clean EOF). The distinction is
+// what separates transient failures from permanent corruption during
+// quarantine classification: a decode error over a cleanly-read byte stream
+// means the bytes themselves are bad (retrying cannot help until the file
+// changes), while a decode error after EIO means the read may simply be
+// retried.
+type readTracker struct {
+	r     io.Reader
+	ioErr error
+}
+
+func (t *readTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.ioErr = err
+	}
+	return n, err
+}

@@ -4,17 +4,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"psd"
 )
 
-// API builds the HTTP handler of psdserve. All state lives in the Registry;
-// the API itself is stateless and safe for concurrent use.
+// API builds the HTTP handler of psdserve. All mutable state is atomic
+// counters or lives in the Registry; the API is safe for concurrent use.
 type API struct {
 	// Registry holds the served releases.
 	Registry *Registry
@@ -25,8 +27,33 @@ type API struct {
 	MaxBodyBytes int64
 	// MaxBatch bounds the rectangles per batch request (default 65536).
 	MaxBatch int
+	// MaxInFlight caps concurrently-served /v1 requests; past it, new ones
+	// are shed with 503 + Retry-After (0 disables shedding).
+	MaxInFlight int
+	// RequestTimeout bounds each /v1 request; an over-deadline traversal is
+	// abandoned at its next cancellation checkpoint and answered 503 +
+	// Retry-After (0 disables deadlines).
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint on shed and over-deadline
+	// responses (default DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Logger receives panic stacks (nil means the standard logger).
+	Logger *log.Logger
 
 	started time.Time
+	// ready gates /readyz: false until initial loading finished, false
+	// again once a drain began (SetReady).
+	ready atomic.Bool
+	// inflight is the live /v1 request count; panics, sheds and timeouts
+	// are the monotonic fault counters of GET /stats.
+	inflight atomic.Int64
+	panics   atomic.Uint64
+	sheds    atomic.Uint64
+	timeouts atomic.Uint64
+	// testHookBatch, when set, runs inside handleBatch between resolving
+	// the release and answering — the graceful-drain test uses it to hold a
+	// request in flight at a known point.
+	testHookBatch func()
 }
 
 // DefaultMaxBodyBytes bounds request bodies when API.MaxBodyBytes is zero.
@@ -38,7 +65,9 @@ const DefaultMaxBatch = 65536
 // Handler returns the routed HTTP handler:
 //
 //	GET    /healthz                      liveness + release count
-//	GET    /v1/releases                  list releases and metadata
+//	GET    /readyz                       readiness (503 while loading/draining)
+//	GET    /stats                        process-level counters (ServerStats)
+//	GET    /v1/releases                  list releases, metadata + quarantine
 //	POST   /v1/releases/{name}           register/replace a release from the body
 //	                                     (JSON or binary v2, sniffed)
 //	DELETE /v1/releases/{name}           unregister
@@ -47,10 +76,18 @@ const DefaultMaxBatch = 65536
 //	GET    /v1/releases/{name}/regions   effective leaf regions + counts
 //	GET    /v1/releases/{name}/stats     serving counters
 //	POST   /v1/reload                    rescan the watch directory
+//
+// The handler is wrapped in the lifecycle middleware (lifecycle.go): panic
+// recovery outermost, then load shedding and per-request deadlines on the
+// /v1 routes. Note /v1 routes are NOT gated on readiness — a draining
+// replica keeps answering requests already routed to it; only the /readyz
+// probe tells the balancer to stop sending new ones.
 func (a *API) Handler() http.Handler {
 	a.started = time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
+	mux.HandleFunc("GET /stats", a.handleServerStats)
 	mux.HandleFunc("GET /v1/releases", a.handleList)
 	mux.HandleFunc("POST /v1/releases/{name}", a.handleRegister)
 	mux.HandleFunc("DELETE /v1/releases/{name}", a.handleDelete)
@@ -59,7 +96,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/releases/{name}/regions", a.handleRegions)
 	mux.HandleFunc("GET /v1/releases/{name}/stats", a.handleStats)
 	mux.HandleFunc("POST /v1/reload", a.handleReload)
-	return mux
+	return a.recoverPanics(a.shed(mux))
 }
 
 func (a *API) maxBody() int64 {
@@ -139,7 +176,10 @@ func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
 	for i, rel := range rels {
 		infos[i] = infoOf(rel)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"releases": infos})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"releases":    infos,
+		"quarantined": a.Registry.Quarantined(),
+	})
 }
 
 func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -228,7 +268,11 @@ func (a *API) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad rect: %v", err)
 		return
 	}
-	val, cached := rel.Count(q)
+	val, cached, err := rel.CountCtx(r.Context(), q)
+	if err != nil {
+		a.countErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"release": rel.Name,
 		"rect":    [4]float64{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y},
@@ -274,10 +318,17 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = q
 	}
+	if a.testHookBatch != nil {
+		a.testHookBatch()
+	}
 	// One node-major engine call answers every miss; hits fill from the
 	// cache per query, exactly as the single-query endpoint would.
 	vals := make([]float64, len(qs))
-	hits, bst := rel.CountBatchInto(vals, qs)
+	hits, bst, err := rel.CountBatchIntoCtx(r.Context(), vals, qs)
+	if err != nil {
+		a.countErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"release":    rel.Name,
 		"counts":     vals,
@@ -321,8 +372,9 @@ func (a *API) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	loaded, skipped, err := a.Registry.ScanDir(a.WatchDir)
 	resp := map[string]any{
-		"loaded":  loaded,
-		"skipped": skipped,
+		"loaded":      loaded,
+		"skipped":     skipped,
+		"quarantined": a.Registry.Quarantined(),
 	}
 	if err != nil {
 		resp["error"] = err.Error()

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"sort"
+	"time"
+)
+
+// Quarantine: the watch-dir scanner's memory of artifacts that failed to
+// load. One corrupt file in a watched directory must not cost a full decode
+// attempt — and a log line — on every rescan forever; and a transient I/O
+// hiccup (NFS blip, slow copy) must not brand a good artifact as bad. So a
+// failed load is recorded keyed on the file's {size, mtime}: permanent
+// failures (the bytes decoded cleanly but are wrong — corruption, validation)
+// are never re-read until the file changes, while transient failures (the
+// read itself errored) earn a bounded number of retries with exponential
+// backoff before they too go quiet. Either way the artifact stays visible —
+// /v1/releases lists the quarantine — and the moment the file's {size,
+// mtime} changes the slate is wiped and it gets a fresh attempt.
+
+// maxLoadAttempts bounds how many times a transiently-failing artifact is
+// retried before the scanner stops re-reading it (until the file changes).
+const maxLoadAttempts = 4
+
+// defaultRetryBase is the first retry delay for transient failures; each
+// further attempt doubles it.
+const defaultRetryBase = time.Second
+
+// Quarantine kinds: how a load failed, which decides the retry policy.
+const (
+	// quarantineCorrupt marks a permanent failure: the artifact's bytes were
+	// read cleanly and are simply not a valid release (truncated write,
+	// corruption, failed validation). Re-reading identical bytes cannot
+	// succeed, so the file is not touched again until {size, mtime} change.
+	quarantineCorrupt = "corrupt"
+	// quarantineIO marks a transient failure: the read or stat itself
+	// errored, so the bytes were never judged. Retried with backoff, up to
+	// maxLoadAttempts.
+	quarantineIO = "io"
+)
+
+// QuarantineInfo is the public (and JSON) shape of one quarantined artifact,
+// as surfaced by /v1/releases and /v1/reload.
+type QuarantineInfo struct {
+	Name      string    `json:"name"`
+	Path      string    `json:"path"`
+	Reason    string    `json:"reason"`
+	Kind      string    `json:"kind"`
+	Attempts  int       `json:"attempts"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastTried time.Time `json:"last_tried"`
+}
+
+// quarantineEntry is the registry's record of one failing artifact: the
+// public info plus the {size, mtime} the failure was observed at (the key
+// that decides "has the file changed") and the earliest next retry.
+type quarantineEntry struct {
+	info      QuarantineInfo
+	state     fileState
+	nextRetry time.Time
+}
+
+// Quarantined returns the current quarantine, sorted by name.
+func (g *Registry) Quarantined() []QuarantineInfo {
+	g.mu.RLock()
+	out := make([]QuarantineInfo, 0, len(g.quarantine))
+	for _, qe := range g.quarantine {
+		out = append(out, qe.info)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// QuarantineLen returns the number of quarantined artifacts.
+func (g *Registry) QuarantineLen() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.quarantine)
+}
+
+// quarantineGate decides whether the scanner should skip path without
+// touching its bytes. A changed (or not-yet-settled) {size, mtime} wipes the
+// record and earns a fresh attempt; an unchanged corrupt file, an exhausted
+// transient one, or a transient one whose backoff has not elapsed is skipped
+// silently — no read, no decode, no log line.
+func (g *Registry) quarantineGate(path string, st fileState, now time.Time) (skip bool) {
+	g.mu.RLock()
+	qe := g.quarantine[path]
+	g.mu.RUnlock()
+	if qe == nil {
+		return false
+	}
+	if qe.state.size != st.size || !qe.state.modTime.Equal(st.modTime) || !qe.state.settled() {
+		g.mu.Lock()
+		delete(g.quarantine, path)
+		g.mu.Unlock()
+		return false
+	}
+	if qe.info.Kind == quarantineCorrupt {
+		return true
+	}
+	return qe.info.Attempts >= maxLoadAttempts || now.Before(qe.nextRetry)
+}
+
+// noteLoadFailure records one actual failed load attempt of path, creating
+// or updating its quarantine entry, and emits the one log line this attempt
+// gets. Silent rescans of an unchanged quarantined file never come through
+// here — only real attempts do, so the log volume is bounded by
+// maxLoadAttempts per file change, not by the rescan rate.
+func (g *Registry) noteLoadFailure(name, path string, st fileState, transient bool, err error, now time.Time) {
+	kind := quarantineCorrupt
+	if transient {
+		kind = quarantineIO
+	}
+	g.mu.Lock()
+	qe := g.quarantine[path]
+	if qe == nil {
+		qe = &quarantineEntry{info: QuarantineInfo{Name: name, Path: path, FirstSeen: now}}
+		g.quarantine[path] = qe
+	}
+	qe.info.Attempts++
+	qe.info.Kind = kind
+	qe.info.Reason = err.Error()
+	qe.info.LastTried = now
+	qe.state = st
+	qe.nextRetry = now.Add(g.retryBase << (qe.info.Attempts - 1))
+	attempts := qe.info.Attempts
+	g.mu.Unlock()
+	switch {
+	case kind == quarantineCorrupt:
+		g.logf("serve: quarantined %s (corrupt, no re-read until the file changes): %v", path, err)
+	case attempts >= maxLoadAttempts:
+		g.logf("serve: quarantined %s (io, %d attempts exhausted, no re-read until the file changes): %v",
+			path, attempts, err)
+	default:
+		g.logf("serve: load failed %s (io, attempt %d/%d, next retry in %s): %v",
+			path, attempts, maxLoadAttempts, g.retryBase<<(attempts-1), err)
+	}
+}
+
+// pruneQuarantine drops quarantine records of paths no longer present in
+// the watch directory: a deleted bad file is resolved, not remembered.
+func (g *Registry) pruneQuarantine(present map[string]bool) {
+	g.mu.Lock()
+	for p := range g.quarantine {
+		if !present[p] {
+			delete(g.quarantine, p)
+		}
+	}
+	g.mu.Unlock()
+}

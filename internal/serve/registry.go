@@ -13,9 +13,10 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"os"
+	"log"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -76,16 +77,29 @@ type batchBuf struct {
 
 // Count answers one range query through the cache, recording stats.
 func (r *Release) Count(q psd.Rect) (val float64, cached bool) {
+	val, cached, _ = r.CountCtx(context.Background(), q)
+	return val, cached
+}
+
+// CountCtx is Count honoring ctx: a cache hit answers immediately (the
+// lookup is far cheaper than any deadline), a miss runs the traversal with
+// cancellation checkpoints and returns ctx.Err() if the deadline fires
+// mid-walk. An abandoned traversal records nothing — no cache fill, no
+// stats — so shed work never pollutes the serving state.
+func (r *Release) CountCtx(ctx context.Context, q psd.Rect) (val float64, cached bool, err error) {
 	start := time.Now()
 	k := queryKey{q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y}
 	if v, ok := r.cache.Get(k); ok {
 		r.stats.record(1, 1, time.Since(start))
-		return v, true
+		return v, true, nil
 	}
-	v := r.Slab.Count(q)
+	v, err := r.Slab.CountCtx(ctx, q)
+	if err != nil {
+		return 0, false, err
+	}
 	r.cache.Put(k, v)
 	r.stats.record(1, 0, time.Since(start))
-	return v, false
+	return v, false, nil
 }
 
 // CountBatch answers a batch of queries: cached answers are filled
@@ -107,6 +121,16 @@ func (r *Release) CountBatch(qs []psd.Rect) (vals []float64, hits int) {
 // allocates nothing: the miss-tracking scratch is pooled and the engine
 // runs out of pooled traversal state.
 func (r *Release) CountBatchInto(vals []float64, qs []psd.Rect) (hits int, st psd.QueryStats) {
+	hits, st, _ = r.CountBatchIntoCtx(context.Background(), vals, qs)
+	return hits, st
+}
+
+// CountBatchIntoCtx is CountBatchInto honoring ctx: the miss traversal runs
+// with cancellation checkpoints and the call returns ctx.Err() — with vals
+// undefined — if the deadline fires mid-walk. An abandoned batch records
+// nothing: no cache fills, no stats, so shed work never pollutes the
+// serving state.
+func (r *Release) CountBatchIntoCtx(ctx context.Context, vals []float64, qs []psd.Rect) (hits int, st psd.QueryStats, err error) {
 	start := time.Now()
 	bb, _ := r.batchBufs.Get().(*batchBuf)
 	if bb == nil {
@@ -132,7 +156,12 @@ func (r *Release) CountBatchInto(vals []float64, qs []psd.Rect) (hits int, st ps
 		// comes from concurrent requests already saturating the cores, and
 		// the single-worker engine path is the one that is allocation-free
 		// on every machine (the sharded path spawns per-request workers).
-		st = r.Slab.CountBatchIntoWorkers(missVals, missQs, 1)
+		st, err = r.Slab.CountBatchIntoWorkersCtx(ctx, missVals, missQs, 1)
+		if err != nil {
+			bb.missIdx, bb.missQs = missIdx[:0], missQs[:0]
+			r.batchBufs.Put(bb)
+			return 0, psd.QueryStats{}, err
+		}
 		for j, i := range missIdx {
 			vals[i] = missVals[j]
 			q := missQs[j]
@@ -142,7 +171,7 @@ func (r *Release) CountBatchInto(vals []float64, qs []psd.Rect) (hits int, st ps
 	bb.missIdx, bb.missQs = missIdx[:0], missQs[:0]
 	r.batchBufs.Put(bb)
 	r.stats.record(uint64(len(qs)), uint64(hits), time.Since(start))
-	return hits, st
+	return hits, st, nil
 }
 
 // Stats returns a snapshot of the release's serving counters.
@@ -192,20 +221,53 @@ func (f fileState) settled() bool {
 // finish against the release they already resolved.
 type Registry struct {
 	cacheSize int
+	// fsys is the filesystem seam every file load flows through (nil means
+	// the real filesystem); retryBase scales the transient-failure backoff;
+	// logger receives quarantine lines (nil means the standard logger). All
+	// three are setup-time knobs, set before the registry serves traffic.
+	fsys      FS
+	logger    *log.Logger
+	retryBase time.Duration
 
-	mu      sync.RWMutex
-	entries map[string]*Release
-	files   map[string]fileState
+	mu         sync.RWMutex
+	entries    map[string]*Release
+	files      map[string]fileState
+	quarantine map[string]*quarantineEntry
 }
 
 // NewRegistry returns an empty registry whose releases each get an answer
 // cache of the given capacity (<= 0 disables caching).
 func NewRegistry(cacheSize int) *Registry {
 	return &Registry{
-		cacheSize: cacheSize,
-		entries:   make(map[string]*Release),
-		files:     make(map[string]fileState),
+		cacheSize:  cacheSize,
+		retryBase:  defaultRetryBase,
+		entries:    make(map[string]*Release),
+		files:      make(map[string]fileState),
+		quarantine: make(map[string]*quarantineEntry),
 	}
+}
+
+// SetFS swaps the filesystem seam (fault-injection tests). Call before the
+// registry serves traffic.
+func (g *Registry) SetFS(fsys FS) { g.fsys = fsys }
+
+// SetLogger directs the registry's quarantine log lines. Call before the
+// registry serves traffic.
+func (g *Registry) SetLogger(l *log.Logger) { g.logger = l }
+
+func (g *Registry) fs() FS {
+	if g.fsys != nil {
+		return g.fsys
+	}
+	return osFS{}
+}
+
+func (g *Registry) logf(format string, args ...any) {
+	if g.logger != nil {
+		g.logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Get returns the named release.
@@ -293,16 +355,26 @@ func validateName(name string) error {
 
 // LoadFile opens a release artifact from path and registers it under name.
 func (g *Registry) LoadFile(name, path string) (*Release, error) {
-	f, err := os.Open(path)
+	rel, _, err := g.loadFile(name, path)
+	return rel, err
+}
+
+// loadFile is LoadFile reporting, on failure, whether the failure was
+// transient (the open or read itself errored — worth retrying) or permanent
+// (the bytes were read cleanly and are simply not a valid release). The
+// distinction drives the quarantine's retry policy.
+func (g *Registry) loadFile(name, path string) (rel *Release, transient bool, err error) {
+	f, err := g.fs().Open(path)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	defer f.Close()
-	rel, err := g.Register(name, path, f)
+	tr := &readTracker{r: f}
+	rel, err = g.Register(name, path, tr)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, tr.ioErr != nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return rel, nil
+	return rel, false, nil
 }
 
 // ScanDir loads every *.json and *.bin artifact in dir, naming each release
@@ -315,12 +387,19 @@ func (g *Registry) LoadFile(name, path string) (*Release, error) {
 // loads would wipe the warm cache on every rescan). It returns the names
 // loaded and skipped this scan; per-file load errors are collected rather
 // than aborting the scan, so one bad artifact can't block the rest.
+//
+// Failed loads are quarantined (see quarantine.go): a file that failed is
+// not re-read — and not re-reported in the error return — until its {size,
+// mtime} change, except that transient I/O failures get maxLoadAttempts
+// retries with exponential backoff first. The error return therefore
+// reflects the loads actually attempted this scan, so a rescan that only
+// skips known-bad unchanged files reports success.
 func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
-	jsons, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	jsons, err := g.fs().Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return nil, nil, err
 	}
-	bins, err := filepath.Glob(filepath.Join(dir, "*.bin"))
+	bins, err := g.fs().Glob(filepath.Join(dir, "*.bin"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -330,19 +409,36 @@ func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
 		byName[strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))] = path
 	}
 	glob := make([]string, 0, len(byName))
+	present := make(map[string]bool, len(byName))
 	for _, path := range byName {
 		glob = append(glob, path)
+		present[path] = true
 	}
 	sort.Strings(glob)
+	g.pruneQuarantine(present)
 	var errs []string
 	for _, path := range glob {
-		info, err := os.Stat(path)
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		now := time.Now()
+		info, err := g.fs().Stat(path)
 		if err != nil {
+			// The file was listed but cannot be statted: a transient
+			// filesystem failure (it vanishing between glob and stat lands
+			// here too, and resolves by pruning on the next scan). There is
+			// no {size, mtime} to key on, so the record uses an impossible
+			// size; a later successful stat always reads as a change.
+			st := fileState{size: -1, loadedAt: now}
+			if g.quarantineGate(path, st, now) {
+				continue
+			}
 			errs = append(errs, err.Error())
+			g.noteLoadFailure(name, path, st, true, err, now)
 			continue
 		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		st := fileState{size: info.Size(), modTime: info.ModTime(), loadedAt: time.Now()}
+		st := fileState{size: info.Size(), modTime: info.ModTime(), loadedAt: now}
+		if g.quarantineGate(path, st, now) {
+			continue
+		}
 		g.mu.RLock()
 		prev, known := g.files[path]
 		live, exists := g.entries[name]
@@ -358,12 +454,14 @@ func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
 			skipped = append(skipped, name)
 			continue
 		}
-		if _, err := g.LoadFile(name, path); err != nil {
+		if _, transient, err := g.loadFile(name, path); err != nil {
 			errs = append(errs, err.Error())
+			g.noteLoadFailure(name, path, st, transient, err, now)
 			continue
 		}
 		g.mu.Lock()
 		g.files[path] = st
+		delete(g.quarantine, path)
 		g.mu.Unlock()
 		loaded = append(loaded, name)
 	}

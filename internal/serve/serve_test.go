@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -787,5 +789,112 @@ func TestBatchEndpointStats(t *testing.T) {
 	postJSON(t, srv.URL+"/v1/releases/r/batch", body, http.StatusOK, &batch)
 	if batch.CacheHits != len(qs) || batch.Stats != (psd.QueryStats{}) {
 		t.Fatalf("cached /batch = %+v, want all hits / zero stats", batch)
+	}
+}
+
+// TestGracefulDrain pins the drain sequence a rolling restart relies on:
+// readiness flips to 503 while the listener still serves (the grace window
+// for load balancers to route away), an in-flight batch completes across
+// Shutdown, and new connections are refused once the listener closes.
+func TestGracefulDrain(t *testing.T) {
+	tree := buildTree(t, 31)
+	reg := NewRegistry(0)
+	if _, err := reg.Register("live", "test", bytes.NewReader(releaseBytes(t, tree))); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	unpark := make(chan struct{})
+	api := &API{Registry: reg}
+	api.testHookBatch = func() {
+		close(entered)
+		<-unpark
+	}
+	api.SetReady(true)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: api.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Park one /batch in flight.
+	rect := tree.Domain()
+	body, _ := json.Marshal(map[string]any{
+		"rects": [][4]float64{{rect.Lo.X, rect.Lo.Y, rect.Hi.X, rect.Hi.Y}},
+	})
+	type batchResult struct {
+		status int
+		counts []float64
+		err    error
+	}
+	inflight := make(chan batchResult, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/releases/live/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- batchResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Counts []float64 `json:"counts"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		inflight <- batchResult{status: resp.StatusCode, counts: out.Counts, err: err}
+	}()
+	<-entered
+
+	// Grace window: readiness is down, but the replica still serves.
+	api.SetReady(false)
+	getJSON(t, base+"/readyz", http.StatusServiceUnavailable, nil)
+	getJSON(t, base+"/healthz", http.StatusOK, nil)
+
+	// Shutdown blocks on the parked request; the listener closes first.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	refused := false
+	for i := 0; i < 200; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			refused = true
+			break
+		}
+		c.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Fatal("listener still accepting connections after Shutdown began")
+	}
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	default:
+	}
+
+	// Unpark: the in-flight batch must complete normally.
+	close(unpark)
+	res := <-inflight
+	if res.err != nil {
+		t.Fatalf("in-flight batch: %v", res.err)
+	}
+	if res.status != http.StatusOK || len(res.counts) != 1 {
+		t.Fatalf("in-flight batch: status %d, counts %v", res.status, res.counts)
+	}
+	if want := tree.Count(rect); res.counts[0] != want {
+		t.Fatalf("in-flight batch answered %v, want %v", res.counts[0], want)
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
 	}
 }

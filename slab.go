@@ -1,6 +1,7 @@
 package psd
 
 import (
+	"context"
 	"io"
 
 	"psd/internal/core"
@@ -67,6 +68,25 @@ func (s *Slab) CountBatchInto(dst []float64, qs []Rect) QueryStats {
 // state comes from pooled scratch.
 func (s *Slab) CountBatchIntoWorkers(dst []float64, qs []Rect, workers int) QueryStats {
 	return QueryStats(s.inner.CountBatchInto(dst, qs, workers))
+}
+
+// CountCtx is Count honoring ctx: the traversal polls for cancellation at
+// bounded checkpoints and returns ctx.Err() if the deadline fires mid-walk,
+// never a partial sum. With a never-cancellable context this is exactly
+// Count. Serving tiers use this to abandon traversals whose request
+// deadline has already passed.
+func (s *Slab) CountCtx(ctx context.Context, q Rect) (float64, error) {
+	return s.inner.QueryCtx(ctx, q)
+}
+
+// CountBatchIntoWorkersCtx is CountBatchIntoWorkers honoring ctx: every
+// traversal worker polls for cancellation at bounded checkpoints, and the
+// call returns ctx.Err() — with dst undefined — if the deadline fires
+// mid-traversal. A batch whose traversal ran to completion is returned even
+// if the deadline expires on the way out.
+func (s *Slab) CountBatchIntoWorkersCtx(ctx context.Context, dst []float64, qs []Rect, workers int) (QueryStats, error) {
+	st, err := s.inner.CountBatchIntoCtx(ctx, dst, qs, workers)
+	return QueryStats(st), err
 }
 
 // Regions returns the effective leaf regions of the release and their
