@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -64,6 +68,18 @@ type queryRow struct {
 	// per-query slab row (nodemajor batch rows): the node-major batch
 	// engine's acceptance ratio, >= 2x required at batch >= 1k.
 	SpeedupVsPerQuery float64 `json:"speedup_vs_perquery,omitempty"`
+	// SpeedupVsV2 is v2-decode-ns / this-ns on the matching v2 open row
+	// (mmap-v3 open rows): the zero-copy open acceptance ratio, >= 10x
+	// required on an h>=10 artifact.
+	SpeedupVsV2 float64 `json:"speedup_vs_v2,omitempty"`
+	// HeapDeltaBytes and RSSDeltaBytes are the steady-state memory grown by
+	// holding the opened slab and serving a query sweep from it (large open
+	// rows): Go heap in use, and the process's resident set (Linux; 0 where
+	// /proc is unavailable). The mmap rows count only the pages the sweep
+	// faulted in — and those are page-cache pages shared across replicas —
+	// where the decode rows pay the full private copy.
+	HeapDeltaBytes int64 `json:"heap_delta_bytes,omitempty"`
+	RSSDeltaBytes  int64 `json:"rss_delta_bytes,omitempty"`
 }
 
 // benchNs runs fn under testing.Benchmark and returns the per-op numbers.
@@ -126,6 +142,9 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 		}
 		if row.SpeedupVsPerQuery > 0 {
 			extra = fmt.Sprintf("  %.2fx vs perquery", row.SpeedupVsPerQuery)
+		}
+		if row.SpeedupVsV2 > 0 {
+			extra = fmt.Sprintf("  %.2fx vs v2", row.SpeedupVsV2)
 		}
 		fmt.Printf("%-36s %12.0f ns/op %6d allocs/op%s\n", row.Name, row.NsPerOp, row.AllocsPerOp, extra)
 	}
@@ -301,6 +320,82 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 		SpeedupVsJSON: jsonNs / binNs,
 	})
 
+	// Large-artifact open: an h=10 quadtree (1.4M nodes, ~56MB as v3) of
+	// the same data, written as binary v2 and v3 to real files, opened the
+	// way a serving replica would. The v2 row decodes and validates every
+	// column into fresh heap; the v3 row is OpenSlabFile's zero-copy path —
+	// mmap plus header/bitset validation, node pages left on disk — so its
+	// latency is independent of artifact size. The acceptance bar is >= 10x
+	// on open latency with lower steady-state residency.
+	big, err := psd.Build(env.Data.Points, env.Data.Domain, psd.Options{
+		Kind: psd.QuadtreeKind, Height: 10, Epsilon: 0.5, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	bigDir, err := os.MkdirTemp("", "psdbench-open")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bigDir)
+	v2Path := filepath.Join(bigDir, "big_v2.bin")
+	v3Path := filepath.Join(bigDir, "big_v3.bin")
+	if err := writeToFile(v2Path, big.WriteBinaryRelease); err != nil {
+		return err
+	}
+	if err := writeToFile(v3Path, big.WriteBinaryV3Release); err != nil {
+		return err
+	}
+	v2Size, v3Size := fileSize(v2Path), fileSize(v3Path)
+	// The residency sweep is the 1%x1% workload: a serving replica's hot
+	// set touches a sliver of a deep tree, which is exactly the case the
+	// on-demand page faulting exists for. The decode row pays the full
+	// private copy no matter what is queried; the mmap row's residency is
+	// proportional to the pages the workload actually visits.
+	sweep := small.Rects
+	// Residency first, mmap before decode: RSS only ever grows (freed heap
+	// is returned to the OS lazily), so the small measurement needs the
+	// fresh baseline.
+	v3Heap, v3RSS, err := measureResident(func() (*psd.Slab, error) { return psd.OpenSlabFile(v3Path) }, sweep)
+	if err != nil {
+		return err
+	}
+	v2Heap, v2RSS, err := measureResident(func() (*psd.Slab, error) { return psd.OpenSlabFile(v2Path) }, sweep)
+	if err != nil {
+		return err
+	}
+	v2Ns, v2OpenAllocs, v2OpenBytes := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := psd.OpenSlabFile(v2Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	})
+	emit(queryRow{
+		Name: "open/quadtree-h10/binary-v2", Op: "open", Engine: "binary",
+		NsPerOp: v2Ns, AllocsPerOp: v2OpenAllocs, BytesPerOp: v2OpenBytes,
+		ArtifactBytes:  int(v2Size),
+		HeapDeltaBytes: v2Heap, RSSDeltaBytes: v2RSS,
+	})
+	v3Ns, v3OpenAllocs, v3OpenBytes := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := psd.OpenSlabFile(v3Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	})
+	emit(queryRow{
+		Name: "open/quadtree-h10/mmap-v3", Op: "open", Engine: "mmap",
+		NsPerOp: v3Ns, AllocsPerOp: v3OpenAllocs, BytesPerOp: v3OpenBytes,
+		ArtifactBytes:  int(v3Size),
+		SpeedupVsV2:    v2Ns / v3Ns,
+		HeapDeltaBytes: v3Heap, RSSDeltaBytes: v3RSS,
+	})
+
 	// serve.Release.Count with the cache off: the handler-level hot path
 	// must not allocate either.
 	reg := serve.NewRegistry(0)
@@ -380,4 +475,75 @@ func slabCountAll(s *psd.Slab, qs []psd.Rect, workers int) []float64 {
 		return out
 	}
 	return s.CountAll(qs)
+}
+
+// writeToFile streams write into a fresh file at path.
+func writeToFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fileSize(path string) int64 {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
+// measureResident opens one artifact, serves a query sweep from it, and
+// reports the steady-state Go-heap and RSS growth while the slab is held —
+// the per-replica memory cost of keeping that release loaded. The slab is
+// closed (and its mapping released) before returning.
+func measureResident(open func() (*psd.Slab, error), sweep []psd.Rect) (heapDelta, rssDelta int64, err error) {
+	// FreeOSMemory (GC + scavenge) pins both readings to live memory:
+	// without it, heap freed by earlier measurements but not yet returned
+	// to the OS skews the RSS baseline. It only releases unused spans, so
+	// the held slab's cost is fully visible in the second reading.
+	debug.FreeOSMemory()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	rss0 := readRSS()
+	slab, err := open()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, q := range sweep {
+		slab.Count(q)
+	}
+	debug.FreeOSMemory()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	rss1 := readRSS()
+	heapDelta = int64(m1.HeapInuse) - int64(m0.HeapInuse)
+	rssDelta = rss1 - rss0
+	slab.Close()
+	return heapDelta, rssDelta, nil
+}
+
+// readRSS returns the process's resident set in bytes (Linux /proc; 0
+// where unavailable — the heap delta still carries the comparison).
+func readRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	return 0
 }

@@ -22,8 +22,12 @@
 // -out and convert's -out choose the release encoding by file extension:
 // ".bin" writes the binary columnar format v2 (compact, and decoded by
 // psdserve straight into its serving columns), anything else writes the
-// versioned JSON format 1. convert reads either format, sniffing the
-// leading bytes, so both directions are the same command line.
+// versioned JSON format 1. Adding -v3 upgrades a ".bin" output to the
+// record-major binary format v3, which psdserve opens zero-copy via mmap —
+// the right encoding for large artifacts. convert reads any format (JSON,
+// v2, v3), sniffing the leading bytes, so every direction — including
+// v2 -> v3 and back — is the same command line; v2 read support is
+// permanent.
 package main
 
 import (
@@ -91,6 +95,7 @@ func main() {
 	domainSpec := flag.String("domain", "", "domain as x1,y1,x2,y2 (default: data bounding box)")
 	regions := flag.Bool("regions", false, "dump released regions as CSV")
 	out := flag.String("out", "", "write the release artifact to this file (.bin = binary v2, else JSON)")
+	v3 := flag.Bool("v3", false, "write .bin artifacts in the mmap-ready binary format v3 instead of v2")
 	var queries rectFlag
 	flag.Var(&queries, "query", "range query as x1,y1,x2,y2 (repeatable)")
 	flag.Parse()
@@ -143,11 +148,11 @@ func main() {
 		fmt.Printf("count %v = %.1f\n", q, tree.Count(q))
 	}
 	if *out != "" {
-		n, err := writeRelease(tree, *out)
+		n, err := writeRelease(tree, *out, *v3)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("# wrote %s release to %s (%d bytes)\n", formatOf(*out), *out, n)
+		fmt.Printf("# wrote %s release to %s (%d bytes)\n", formatName(*out, *v3), *out, n)
 	}
 	if *regions {
 		rects, counts := tree.Regions()
@@ -204,6 +209,15 @@ func formatOf(path string) string {
 	return "json"
 }
 
+// formatName is formatOf plus the binary version the -v3 flag selects.
+func formatName(path string, v3 bool) string {
+	f := formatOf(path)
+	if f == "binary" && v3 {
+		return "binary-v3"
+	}
+	return f
+}
+
 // writeArtifact publishes write's output at path crash-safely — temp file,
 // fsync, atomic rename — returning the byte count. A psdserve watch-dir
 // rescan (or any reader) racing the write sees either the previous complete
@@ -214,8 +228,11 @@ func writeArtifact(path string, write func(io.Writer) error) (int64, error) {
 
 // writeRelease serializes the tree's release to path in the
 // extension-selected format, returning the byte count.
-func writeRelease(tree *psd.Tree, path string) (int64, error) {
+func writeRelease(tree *psd.Tree, path string, v3 bool) (int64, error) {
 	if formatOf(path) == "binary" {
+		if v3 {
+			return writeArtifact(path, tree.WriteBinaryV3Release)
+		}
 		return writeArtifact(path, tree.WriteBinaryRelease)
 	}
 	return writeArtifact(path, tree.WriteRelease)
@@ -228,10 +245,11 @@ func writeRelease(tree *psd.Tree, path string) (int64, error) {
 // round-tripped either way re-serializes byte-identically.
 func runConvert(args []string) {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
-	in := fs.String("in", "", "input release artifact, JSON or binary (required)")
-	out := fs.String("out", "", "output path; .bin writes binary v2, anything else JSON (required)")
+	in := fs.String("in", "", "input release artifact, JSON or binary v2/v3 (required)")
+	out := fs.String("out", "", "output path; .bin writes binary v2 (v3 with -v3), anything else JSON (required)")
+	v3 := fs.Bool("v3", false, "write .bin output in the mmap-ready binary format v3 instead of v2")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: psdtool convert -in release.json -out release.bin")
+		fmt.Fprintln(os.Stderr, "usage: psdtool convert -in release.json [-v3] -out release.bin")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -239,34 +257,43 @@ func runConvert(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	slab, n, err := convert(*in, *out)
+	slab, n, err := convert(*in, *out, *v3)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("# converted %s (%s h=%d eps=%g, %d regions) -> %s %s (%d bytes)\n",
 		*in, slab.Kind(), slab.Height(), slab.PrivacyCost(), slab.NumRegions(),
-		formatOf(*out), *out, n)
+		formatName(*out, *v3), *out, n)
+	slab.Close()
 }
 
-// convert opens the release at in (either format, sniffed) and writes it to
-// out in the extension-selected format, returning the opened slab and the
-// output size.
-func convert(in, out string) (*psd.Slab, int64, error) {
-	f, err := os.Open(in)
+// convert opens the release at in (any format, sniffed; a v3 artifact is
+// mmap'd and fully verified rather than decoded) and writes it to out in
+// the selected format, returning the opened slab and the output size. The
+// three encodings carry the same artifact, so every conversion is lossless
+// and round trips re-serialize byte-identically.
+func convert(in, out string, v3 bool) (*psd.Slab, int64, error) {
+	slab, err := psd.OpenSlabFile(in)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("%s: %w", in, err)
 	}
-	slab, err := psd.OpenSlab(f)
-	f.Close()
-	if err != nil {
+	// A zero-copy open skips the body checks a decode runs inline; verify
+	// before re-encoding so a corrupt input fails loudly instead of being
+	// laundered into a fresh checksummed artifact.
+	if err := slab.Verify(); err != nil {
+		slab.Close()
 		return nil, 0, fmt.Errorf("%s: %w", in, err)
 	}
 	write := slab.WriteRelease
 	if formatOf(out) == "binary" {
 		write = slab.WriteBinaryRelease
+		if v3 {
+			write = slab.WriteBinaryV3Release
+		}
 	}
 	n, err := writeArtifact(out, write)
 	if err != nil {
+		slab.Close()
 		return nil, 0, err
 	}
 	return slab, n, nil

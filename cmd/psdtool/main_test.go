@@ -76,14 +76,14 @@ func TestConvertRoundTrip(t *testing.T) {
 	binPath := filepath.Join(dir, "r.bin")
 	jsonPath := filepath.Join(dir, "r.json")
 
-	slab1, n, err := convert(src, binPath)
+	slab1, n, err := convert(src, binPath, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n <= 0 {
 		t.Fatalf("convert wrote %d bytes", n)
 	}
-	slab2, _, err := convert(binPath, jsonPath)
+	slab2, _, err := convert(binPath, jsonPath, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,15 +108,69 @@ func TestConvertRoundTrip(t *testing.T) {
 		}
 	}
 
-	if _, _, err := convert(filepath.Join(dir, "missing.json"), binPath); err == nil {
+	if _, _, err := convert(filepath.Join(dir, "missing.json"), binPath, false); err == nil {
 		t.Error("convert of a missing file should error")
 	}
 	junk := filepath.Join(dir, "junk.json")
 	if err := os.WriteFile(junk, []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := convert(junk, binPath); err == nil {
+	if _, _, err := convert(junk, binPath, false); err == nil {
 		t.Error("convert of a junk artifact should error")
+	}
+}
+
+// TestConvertV3RoundTrip drives the converter through the mmap-ready v3
+// encoding: json -> v3 -> json must reproduce the input byte-identically
+// (the v3 leg is opened zero-copy by OpenSlabFile), and converting the
+// same artifact to v2 and v3 must yield slabs that answer identically.
+func TestConvertV3RoundTrip(t *testing.T) {
+	src := filepath.Join("..", "..", "testdata", "release_quadtree.json")
+	dir := t.TempDir()
+	v3Path := filepath.Join(dir, "r3.bin")
+	v2Path := filepath.Join(dir, "r2.bin")
+	jsonPath := filepath.Join(dir, "r.json")
+
+	slabV3, n, err := convert(src, v3Path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n%64 != 16 { // sections are 64-aligned; the 16-byte footer ends the file
+		t.Errorf("v3 artifact is %d bytes; want 64-aligned body + 16-byte footer", n)
+	}
+	slabV2, _, err := convert(src, v2Path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := convert(v3Path, jsonPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("json -> v3 -> json round trip is not byte-identical")
+	}
+	for _, q := range []psd.Rect{
+		psd.NewRect(0, 0, 100, 100),
+		psd.NewRect(25, 25, 75, 75),
+		psd.NewRect(47, 47, 53, 53),
+	} {
+		if a, b := slabV2.Count(q), slabV3.Count(q); a != b {
+			t.Errorf("v2 and v3 slabs disagree on %v: %v vs %v", q, a, b)
+		}
+		if a, b := slabV3.Count(q), back.Count(q); a != b {
+			t.Errorf("v3 and round-tripped slabs disagree on %v: %v vs %v", q, a, b)
+		}
+	}
+	if err := slabV3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -129,7 +183,7 @@ func TestConvertPrivTreeGolden(t *testing.T) {
 	srcBin := filepath.Join("..", "..", "testdata", "release_privtree.bin")
 	dir := t.TempDir()
 
-	slab, _, err := convert(srcJSON, filepath.Join(dir, "p.bin"))
+	slab, _, err := convert(srcJSON, filepath.Join(dir, "p.bin"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +201,7 @@ func TestConvertPrivTreeGolden(t *testing.T) {
 	if string(got) != string(want) {
 		t.Error("converted binary differs from the committed privtree fixture")
 	}
-	back, _, err := convert(srcBin, filepath.Join(dir, "p.json"))
+	back, _, err := convert(srcBin, filepath.Join(dir, "p.json"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +261,7 @@ func TestBuildPrivTreeFromCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "roads.bin")
-	if _, err := writeRelease(tree, out); err != nil {
+	if _, err := writeRelease(tree, out, false); err != nil {
 		t.Fatal(err)
 	}
 	g, err := os.Open(out)
@@ -237,7 +291,7 @@ func TestWriteRelease(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"r.json", "r.bin"} {
 		path := filepath.Join(dir, name)
-		n, err := writeRelease(tree, path)
+		n, err := writeRelease(tree, path, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -203,6 +203,86 @@ func TestGoldenBinaryReleases(t *testing.T) {
 	}
 }
 
+// TestGoldenV3Releases pins the record-major binary format v3 the same way:
+// one release_<kind>.v3.bin per family, checked byte-for-byte, required to
+// answer the fixed query set bit-identically through both read paths — the
+// streaming decoder and the zero-copy mmap open — and to convert losslessly
+// to and from the v2 fixture. Regenerate with -update alongside the others.
+func TestGoldenV3Releases(t *testing.T) {
+	for _, g := range goldenKinds {
+		t.Run(g.name, func(t *testing.T) {
+			tree := goldenBuild(t, g.kind)
+			var buf bytes.Buffer
+			if err := tree.WriteBinaryV3Release(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "release_"+g.name+".v3.bin")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("v3 release differs from %s (%d vs %d bytes); "+
+					"if the format change is intentional, regenerate with -update",
+					path, buf.Len(), len(golden))
+			}
+
+			// Both v3 read paths answer exactly as the builder's tree: the
+			// streaming decoder and the mmap open OpenSlabFile prefers.
+			decoded, err := OpenSlab(bytes.NewReader(golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := OpenSlabFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mapped.Close()
+			if err := mapped.Verify(); err != nil {
+				t.Fatalf("Verify on the golden fixture: %v", err)
+			}
+			for _, q := range goldenQueries() {
+				want := tree.Count(q)
+				if got := decoded.Count(q); got != want {
+					t.Errorf("query %v: v3 decoded slab %v, built %v", q, got, want)
+				}
+				if got := mapped.Count(q); got != want {
+					t.Errorf("query %v: v3 mmap slab %v, built %v", q, got, want)
+				}
+			}
+
+			// Conversion is lossless in both directions against the v2 fixture.
+			v2golden, err := os.ReadFile(filepath.Join("testdata", "release_"+g.name+".bin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var toV2 bytes.Buffer
+			if err := decoded.WriteBinaryRelease(&toV2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(toV2.Bytes(), v2golden) {
+				t.Error("v3 fixture does not convert to the v2 fixture byte-identically")
+			}
+			v2slab, err := OpenSlab(bytes.NewReader(v2golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var toV3 bytes.Buffer
+			if err := v2slab.WriteBinaryV3Release(&toV3); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(toV3.Bytes(), golden) {
+				t.Error("v2 fixture does not convert to the v3 fixture byte-identically")
+			}
+		})
+	}
+}
+
 // goldenQueryFile is the schema of testdata/golden_queries.json: the
 // quadtree fixture's fixed queries with their expected answers, consumed by
 // the cmd/psdserve end-to-end test and the CI curl check.

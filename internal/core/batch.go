@@ -155,6 +155,7 @@ func (s *Slab) CountBatchWorkers(qs []geom.Rect, workers int) []float64 {
 // stay dense and the slab streams near-sequentially. Answers and
 // statistics are identical at every worker count.
 func (s *Slab) CountBatchInto(out []float64, qs []geom.Rect, workers int) QueryStats {
+	s.ensureOpen()
 	return s.countBatchInto(out, qs, workers, nil, nil)
 }
 

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 	"math"
+	"math/bits"
 )
 
 // Release format v2 is a little-endian binary columnar encoding of the same
@@ -34,29 +35,42 @@ import (
 //	...     p uvarints  pruned node indices, delta-encoded (first index, then
 //	                    gaps), strictly ascending
 //
+// The artifact ends exactly after the pruned list: the decoder requires EOF
+// there, so a concatenated or trailing-garbage file is rejected rather than
+// "successfully" decoded (which would defeat the canonical-encoding
+// guarantee and the serving tier's corrupt-file quarantine).
+//
 // Count slots of unpublished nodes are written as zero and forced to zero on
 // read, so a decoded slab never carries garbage into LeafRegions. The
 // decoder applies the same hardening as Release.Validate before and after
 // the column reads: shape, epsilon and domain checks gate the allocation,
 // per-node checks reject non-finite or inverted rectangles and non-finite
 // published counts, and pruned indices must be in-range and ascending.
+//
+// Release format v3 (binary_v3.go) is the record-major, mmap-ready sibling:
+// ReadBinary accepts both, dispatching on the magic.
 
 // binaryMagic opens every format-v2 artifact; SniffBinary keys on it.
 var binaryMagic = [4]byte{'P', 'S', 'D', '2'}
 
-// binaryVersion is the current binary serialization version.
+// binaryVersion is the format-v2 serialization version byte.
 const binaryVersion = 2
 
-// binaryHeaderSize is the fixed-size prefix before the columns.
+// binaryHeaderSize is the fixed-size v2 prefix before the columns.
 const binaryHeaderSize = 56
 
 // numKinds bounds the kind byte (the Kind enumeration is 0..numKinds-1).
 const numKinds = 7
 
-// SniffBinary reports whether the first bytes of an artifact announce the
-// binary format. JSON releases start with '{', so four bytes decide.
+// SniffBinary reports whether the first bytes of an artifact announce one of
+// the binary formats (v2 or v3). JSON releases start with '{', so four bytes
+// decide.
 func SniffBinary(prefix []byte) bool {
-	return len(prefix) >= len(binaryMagic) && [4]byte(prefix[:4]) == binaryMagic
+	if len(prefix) < 4 {
+		return false
+	}
+	m := [4]byte(prefix[:4])
+	return m == binaryMagic || m == v3Magic
 }
 
 // WriteBinary serializes the release in format v2. The release is validated
@@ -69,10 +83,93 @@ func (r *Release) WriteBinary(w io.Writer) (int64, error) {
 	return s.WriteBinary(w)
 }
 
-// WriteBinary serializes the slab's release in format v2.
+// artifactWriter batches encoded bytes into a fixed chunk before handing
+// them to the destination, counting exactly the bytes the destination
+// accepted. The binary encoders write through it instead of a bufio.Writer
+// so the (n, err) they return has one unambiguous meaning: n is what
+// actually reached w — on a mid-stream failure included — never inflated by
+// bytes a buffer accepted but never delivered. When crc is non-nil every
+// written byte also feeds it (the v3 body checksum).
+type artifactWriter struct {
+	w   io.Writer
+	crc hash.Hash64
+	buf []byte
+	n   int64 // bytes the destination accepted
+	err error // first destination error; later writes are dropped
+}
+
+// artifactChunk is the destination write size: large enough that per-value
+// encoding never reaches the destination as 8-byte writes.
+const artifactChunk = 64 << 10
+
+func newArtifactWriter(w io.Writer, crc hash.Hash64) *artifactWriter {
+	return &artifactWriter{w: w, crc: crc, buf: make([]byte, 0, artifactChunk)}
+}
+
+// flush delivers the buffered chunk, folding short writes into errors.
+func (aw *artifactWriter) flush() {
+	if aw.err != nil || len(aw.buf) == 0 {
+		aw.buf = aw.buf[:0]
+		return
+	}
+	n, err := aw.w.Write(aw.buf)
+	if n > len(aw.buf) {
+		n = len(aw.buf)
+	}
+	aw.n += int64(n)
+	if err == nil && n < len(aw.buf) {
+		err = io.ErrShortWrite
+	}
+	aw.err = err
+	aw.buf = aw.buf[:0]
+}
+
+// write buffers p, flushing full chunks as it goes.
+func (aw *artifactWriter) write(p []byte) {
+	if aw.err != nil {
+		return
+	}
+	if aw.crc != nil {
+		aw.crc.Write(p) // hash.Hash.Write never errors
+	}
+	for len(p) > 0 {
+		free := cap(aw.buf) - len(aw.buf)
+		if free == 0 {
+			aw.flush()
+			if aw.err != nil {
+				return
+			}
+			free = cap(aw.buf)
+		}
+		k := min(free, len(p))
+		aw.buf = append(aw.buf, p[:k]...)
+		p = p[k:]
+	}
+}
+
+// u64 writes one little-endian uint64.
+func (aw *artifactWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	aw.write(b[:])
+}
+
+// zeros writes n zero bytes (section padding).
+func (aw *artifactWriter) zeros(n int) {
+	var z [64]byte
+	for n > 0 {
+		k := min(n, len(z))
+		aw.write(z[:k])
+		n -= k
+	}
+}
+
+// WriteBinary serializes the slab's release in format v2, returning the
+// number of bytes that reached w (on error, the bytes delivered before the
+// failure).
 func (s *Slab) WriteBinary(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
+	s.ensureOpen()
+	aw := newArtifactWriter(w, nil)
 	n := s.Len()
 
 	var hdr [binaryHeaderSize]byte
@@ -89,36 +186,33 @@ func (s *Slab) WriteBinary(w io.Writer) (int64, error) {
 	binary.LittleEndian.PutUint32(hdr[48:], uint32(n))
 	pruned := s.prunedIndices()
 	binary.LittleEndian.PutUint32(hdr[52:], uint32(len(pruned)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return cw.n, err
-	}
+	aw.write(hdr[:])
 
 	// The four bound columns are stored scalar-per-column on disk (columnar
 	// layouts align and compress well); in memory the slab packs them per
-	// node, so the writer de-interleaves. The count column writes zero for
-	// unpublished slots so the encoding is canonical (a round trip through
-	// ReadBinary re-serializes byte-identically).
+	// node, so the writer de-interleaves, encoding through a value-batch
+	// scratch so the destination sees chunk-sized writes. The count column
+	// writes zero for unpublished slots so the encoding is canonical (a
+	// round trip through ReadBinary re-serializes byte-identically).
+	var b [8 << 10]byte
 	for col := 0; col < 5; col++ {
-		var b [8]byte
+		off := 0
 		for i := 0; i < n; i++ {
 			v := s.nodes[i][col]
 			if col == 4 && !s.usable.get(i) {
 				v = 0
 			}
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-			if _, err := bw.Write(b[:]); err != nil {
-				return cw.n, err
+			binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+			off += 8
+			if off == len(b) {
+				aw.write(b[:off])
+				off = 0
 			}
 		}
+		aw.write(b[:off])
 	}
-	{
-		var b [8]byte
-		for _, word := range s.usable {
-			binary.LittleEndian.PutUint64(b[:], word)
-			if _, err := bw.Write(b[:]); err != nil {
-				return cw.n, err
-			}
-		}
+	for _, word := range s.usable {
+		aw.u64(word)
 	}
 	var vb [binary.MaxVarintLen64]byte
 	prev := 0
@@ -128,40 +222,62 @@ func (s *Slab) WriteBinary(w io.Writer) (int64, error) {
 			delta = idx
 		}
 		k := binary.PutUvarint(vb[:], uint64(delta))
-		if _, err := bw.Write(vb[:k]); err != nil {
-			return cw.n, err
-		}
+		aw.write(vb[:k])
 		prev = idx
 	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
+	aw.flush()
+	return aw.n, aw.err
 }
 
-// prunedIndices lists the pruned subtree roots in ascending order.
+// prunedIndices lists the pruned subtree roots in ascending order. The
+// output is sized from a popcount over the bitset and filled by iterating
+// its set bits, so heavily-pruned releases (adaptive PrivTree shapes can
+// prune most of the tree) pay O(words + pruned), not repeated append growth
+// over an O(n) scan.
 func (s *Slab) prunedIndices() []int {
-	var out []int
-	for i := 0; i < s.Len(); i++ {
-		if s.pruned.get(i) {
-			out = append(out, i)
+	count := 0
+	for _, w := range s.pruned {
+		count += bits.OnesCount64(w)
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]int, 0, count)
+	for wi, w := range s.pruned {
+		for w != 0 {
+			out = append(out, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
 		}
 	}
 	return out
 }
 
-// ReadBinary parses and validates a format-v2 release, decoding straight
-// into a query-ready Slab. The input is treated as untrusted: the header is
-// fully checked before any node-sized allocation, and every per-node check
-// of Release.Validate runs on the columns, so a successfully decoded slab
-// is structurally sound.
+// ReadBinary parses and validates a binary release — format v2 or v3,
+// dispatched on the magic — decoding straight into a query-ready Slab. The
+// input is treated as untrusted: the header is fully checked before any
+// node-sized allocation, and every per-node check of Release.Validate runs
+// on the columns, so a successfully decoded slab is structurally sound. The
+// reader must be exhausted by the artifact: trailing bytes are an error.
 func ReadBinary(r io.Reader) (*Slab, error) {
-	var hdr [binaryHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading binary release header: %w", err)
 	}
-	if !SniffBinary(hdr[:]) {
-		return nil, fmt.Errorf("core: bad magic %q in binary release", hdr[0:4])
+	switch magic {
+	case binaryMagic:
+		return readBinaryV2(r)
+	case v3Magic:
+		return readBinaryV3(r)
+	}
+	return nil, fmt.Errorf("core: bad magic %q in binary release", magic[:])
+}
+
+// readBinaryV2 decodes a format-v2 body (magic already consumed).
+func readBinaryV2(r io.Reader) (*Slab, error) {
+	var hdr [binaryHeaderSize]byte
+	copy(hdr[0:4], binaryMagic[:])
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return nil, fmt.Errorf("core: reading binary release header: %w", err)
 	}
 	if hdr[4] != binaryVersion {
 		return nil, fmt.Errorf("core: unsupported binary release version %d", hdr[4])
@@ -269,9 +385,23 @@ func ReadBinary(r io.Reader) (*Slab, error) {
 		s.markPruned(idx)
 		prev = idx
 	}
+	if err := expectEOF(r); err != nil {
+		return nil, err
+	}
 	s.computeEffLeaves()
 	s.finish()
 	return s, nil
+}
+
+// expectEOF requires the reader to be exhausted: a binary artifact's length
+// is implied by its header, so any byte past the end means concatenation,
+// corruption, or a torn rewrite — none of which may decode "successfully".
+func expectEOF(r io.Reader) error {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != io.EOF {
+		return fmt.Errorf("core: binary release has trailing bytes past its end")
+	}
+	return nil
 }
 
 // byteReaderFor adapts any reader for varint decoding without buffering

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"runtime"
+	"sync"
+
+	"psd/internal/geom"
+)
+
+// Release format v3 is the record-major, mmap-ready sibling of format v2:
+// the node section is byte-for-byte the slab's packed 40-byte
+// [lox,loy,hix,hiy,est] hot records, so on a little-endian host
+// OpenSlabMmap can alias the mapping instead of decoding — open cost is
+// mmap(2) plus header and bitset validation, independent of artifact size,
+// with cold pages faulted on demand and the page cache shared across every
+// process serving the same file.
+//
+// Layout (all integers and floats little-endian; every section starts on a
+// 64-byte boundary, gaps zero-filled):
+//
+//	offset  size             field
+//	0       4                magic "PSD3"
+//	4       1                format version (3)
+//	5       1                kind (same enumeration as v2)
+//	6       1                fanout (must be 4)
+//	7       1                height h (0..13)
+//	8       8                epsilon (float64)
+//	16      32               domain lox,loy,hix,hiy (4 × float64)
+//	48      4                node count n (uint32; must match the shape)
+//	52      4                pruned count p (uint32)
+//	56      8                reserved, must be zero
+//	64      n*40             node records [lox,loy,hix,hiy,est], breadth-first
+//	(align 64)
+//	...     ceil(n/64)*8     published bitset (uint64 words, LSB-first)
+//	(align 64)
+//	...     ceil(n/64)*8     pruned bitset (uint64 words, LSB-first; replaces
+//	                         v2's delta-varint list so it maps directly)
+//	(align 64)
+//	...     16               footer: CRC-64/ECMA of every preceding byte
+//	                         (uint64), then magic "PSD3END\0"
+//
+// The file ends exactly at the footer. The encoding is canonical: count
+// slots of unpublished nodes must be zero bits, bitset tail bits and all
+// padding must be zero, and the pruned count must equal the bitset
+// popcount — the streaming decoder rejects any deviation, so a v3 artifact
+// that decodes also round-trips byte-identically.
+//
+// The checksum is deliberately a trailer, not a gate: OpenSlabMmap returns
+// without touching the node section (that is the whole point of the
+// format), and (*Slab).Verify runs the deferred full-body pass — CRC plus
+// the per-node validation the streaming decoder does inline — for callers
+// (the serving registry) that want corruption surfaced at load time rather
+// than as wrong answers.
+
+// v3Magic opens every format-v3 artifact.
+var v3Magic = [4]byte{'P', 'S', 'D', '3'}
+
+// v3FooterMagic closes it; a torn or truncated rewrite loses the trailer.
+var v3FooterMagic = [8]byte{'P', 'S', 'D', '3', 'E', 'N', 'D', 0}
+
+const (
+	v3Version    = 3
+	v3HeaderSize = 64
+	v3FooterSize = 16
+	v3RecordSize = 40
+	v3Align      = 64
+)
+
+// v3CRCTable is the CRC-64/ECMA polynomial table the footer checksum uses.
+var v3CRCTable = crc64.MakeTable(crc64.ECMA)
+
+// align64 rounds n up to the next 64-byte boundary.
+func align64(n int64) int64 { return (n + v3Align - 1) &^ (v3Align - 1) }
+
+// v3Layout holds the section offsets of a v3 artifact with a given node
+// count. All arithmetic is int64: height 13 is ~89.5M nodes, ~3.6GB of
+// records.
+type v3Layout struct {
+	recordsOff int64
+	recordsEnd int64
+	usableOff  int64
+	bitsetLen  int64
+	prunedOff  int64
+	footerOff  int64
+	size       int64
+}
+
+func v3LayoutFor(nodes int) v3Layout {
+	var l v3Layout
+	l.recordsOff = v3HeaderSize
+	l.recordsEnd = l.recordsOff + int64(nodes)*v3RecordSize
+	l.usableOff = align64(l.recordsEnd)
+	l.bitsetLen = int64((nodes+63)/64) * 8
+	l.prunedOff = align64(l.usableOff + l.bitsetLen)
+	l.footerOff = align64(l.prunedOff + l.bitsetLen)
+	l.size = l.footerOff + v3FooterSize
+	return l
+}
+
+// WriteBinaryV3 serializes the slab in format v3, returning the number of
+// bytes that reached w.
+func (s *Slab) WriteBinaryV3(w io.Writer) (int64, error) {
+	s.ensureOpen()
+	crc := crc64.New(v3CRCTable)
+	aw := newArtifactWriter(w, crc)
+	n := s.Len()
+	lay := v3LayoutFor(n)
+	numPruned := 0
+	for _, word := range s.pruned {
+		numPruned += bits.OnesCount64(word)
+	}
+
+	var hdr [v3HeaderSize]byte
+	copy(hdr[0:4], v3Magic[:])
+	hdr[4] = v3Version
+	hdr[5] = byte(s.kind)
+	hdr[6] = 4
+	hdr[7] = byte(s.height)
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(s.epsilon))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(s.domain.Lo.X))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(s.domain.Lo.Y))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(s.domain.Hi.X))
+	binary.LittleEndian.PutUint64(hdr[40:], math.Float64bits(s.domain.Hi.Y))
+	binary.LittleEndian.PutUint32(hdr[48:], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[52:], uint32(numPruned))
+	aw.write(hdr[:])
+
+	// Records go out record-major through a chunk-sized scratch, count
+	// slots of unpublished nodes forced to zero so the section is exactly
+	// what a decoded slab holds (and what a mapping aliases).
+	var b [v3RecordSize * 204]byte
+	off := 0
+	for i := 0; i < n; i++ {
+		nd := &s.nodes[i]
+		for c := 0; c < 5; c++ {
+			v := nd[c]
+			if c == 4 && !s.usable.get(i) {
+				v = 0
+			}
+			binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+			off += 8
+		}
+		if off == len(b) {
+			aw.write(b[:off])
+			off = 0
+		}
+	}
+	aw.write(b[:off])
+	aw.zeros(int(lay.usableOff - lay.recordsEnd))
+	for _, word := range s.usable {
+		aw.u64(word)
+	}
+	aw.zeros(int(lay.prunedOff - (lay.usableOff + lay.bitsetLen)))
+	for _, word := range s.pruned {
+		aw.u64(word)
+	}
+	aw.zeros(int(lay.footerOff - (lay.prunedOff + lay.bitsetLen)))
+
+	// The checksum covers everything before the footer; the crc tee has
+	// seen exactly those bytes, so detach it before the footer goes out.
+	var ft [v3FooterSize]byte
+	binary.LittleEndian.PutUint64(ft[0:8], crc.Sum64())
+	copy(ft[8:], v3FooterMagic[:])
+	aw.crc = nil
+	aw.write(ft[:])
+	aw.flush()
+	return aw.n, aw.err
+}
+
+// WriteBinaryV3 serializes the release in format v3 after validating it.
+func (r *Release) WriteBinaryV3(w io.Writer) (int64, error) {
+	s, err := r.Slab()
+	if err != nil {
+		return 0, err
+	}
+	return s.WriteBinaryV3(w)
+}
+
+// parseV3Header validates a v3 header (magic already established) and
+// returns the decoded fields. Every check runs before any node-sized
+// allocation or mapping-sized slice is built.
+func parseV3Header(hdr *[v3HeaderSize]byte) (kind Kind, height int, domain geom.Rect, epsilon float64, nodes, numPruned int, err error) {
+	if hdr[4] != v3Version {
+		return 0, 0, geom.Rect{}, 0, 0, 0, fmt.Errorf("core: unsupported binary release version %d", hdr[4])
+	}
+	if hdr[5] >= numKinds {
+		return 0, 0, geom.Rect{}, 0, 0, 0, fmt.Errorf("core: unknown kind %d in binary release", hdr[5])
+	}
+	kind = Kind(hdr[5])
+	nodes, err = checkShape(int(hdr[6]), int(hdr[7]))
+	if err != nil {
+		return 0, 0, geom.Rect{}, 0, 0, 0, err
+	}
+	height = int(hdr[7])
+	epsilon = math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
+	if err = checkEpsilon(epsilon); err != nil {
+		return 0, 0, geom.Rect{}, 0, 0, 0, err
+	}
+	var dom [4]float64
+	for i := range dom {
+		dom[i] = math.Float64frombits(binary.LittleEndian.Uint64(hdr[16+8*i:]))
+	}
+	if err = checkDomain(dom); err != nil {
+		return 0, 0, geom.Rect{}, 0, 0, 0, err
+	}
+	if got := binary.LittleEndian.Uint32(hdr[48:]); got != uint32(nodes) {
+		return 0, 0, geom.Rect{}, 0, 0, 0, fmt.Errorf("core: binary release declares %d nodes for a %d-node tree", got, nodes)
+	}
+	numPruned = int(binary.LittleEndian.Uint32(hdr[52:]))
+	if numPruned < 0 || numPruned > nodes {
+		return 0, 0, geom.Rect{}, 0, 0, 0, fmt.Errorf("core: binary release declares %d pruned nodes of %d", numPruned, nodes)
+	}
+	for _, b := range hdr[56:64] {
+		if b != 0 {
+			return 0, 0, geom.Rect{}, 0, 0, 0, fmt.Errorf("core: binary release has non-zero reserved header bytes")
+		}
+	}
+	return kind, height, unflattenRect(dom), epsilon, nodes, numPruned, nil
+}
+
+// readBinaryV3 is the streaming (reader-based) v3 decoder: the portable
+// path when mmap is unavailable, the host is big-endian, or the input is
+// not a file. It decodes into fresh heap columns and enforces the full
+// canonical-encoding contract — checksum, padding, tail bits, zeroed
+// unpublished slots — so it accepts exactly the artifacts Verify would
+// pass. The magic has already been consumed by ReadBinary.
+func readBinaryV3(r io.Reader) (*Slab, error) {
+	crc := crc64.New(v3CRCTable)
+	crc.Write(v3Magic[:])
+	tr := io.TeeReader(r, crc)
+
+	var hdr [v3HeaderSize]byte
+	copy(hdr[0:4], v3Magic[:])
+	if _, err := io.ReadFull(tr, hdr[4:]); err != nil {
+		return nil, fmt.Errorf("core: reading binary release header: %w", err)
+	}
+	kind, height, domain, epsilon, nodes, numPruned, err := parseV3Header(&hdr)
+	if err != nil {
+		return nil, err
+	}
+	lay := v3LayoutFor(nodes)
+
+	s := newSlab(kind, height, domain, epsilon)
+	// Records stream through a bounded scratch (a multiple of the record
+	// size, ~1MB) so the decode never doubles the peak.
+	buf := make([]byte, v3RecordSize*min(nodes, 26214))
+	for base := 0; base < nodes; {
+		b := buf[:min(len(buf), v3RecordSize*(nodes-base))]
+		if _, err := io.ReadFull(tr, b); err != nil {
+			return nil, fmt.Errorf("core: reading binary release records: %w", err)
+		}
+		for i := 0; i < len(b)/v3RecordSize; i++ {
+			nd := &s.nodes[base+i]
+			for c := 0; c < 5; c++ {
+				nd[c] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*v3RecordSize+8*c:]))
+			}
+		}
+		base += len(b) / v3RecordSize
+	}
+	if err := readZeroPad(tr, int(lay.usableOff-lay.recordsEnd)); err != nil {
+		return nil, err
+	}
+	if err := readBitsetWords(tr, s.usable, "published"); err != nil {
+		return nil, err
+	}
+	if err := readZeroPad(tr, int(lay.prunedOff-(lay.usableOff+lay.bitsetLen))); err != nil {
+		return nil, err
+	}
+	if err := readBitsetWords(tr, s.pruned, "pruned"); err != nil {
+		return nil, err
+	}
+	if err := readZeroPad(tr, int(lay.footerOff-(lay.prunedOff+lay.bitsetLen))); err != nil {
+		return nil, err
+	}
+	if err := checkBitsetTails(s.usable, s.pruned, nodes, numPruned); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nodes; i++ {
+		if err := checkV3Node(&s.nodes[i], i, s.usable.get(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// The footer is read from the underlying reader, past the crc tee: the
+	// checksum covers everything before it, itself excluded.
+	var ft [v3FooterSize]byte
+	if _, err := io.ReadFull(r, ft[:]); err != nil {
+		return nil, fmt.Errorf("core: reading binary release footer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(ft[0:8]); got != crc.Sum64() {
+		return nil, fmt.Errorf("core: binary release checksum mismatch: footer %#x, body %#x", got, crc.Sum64())
+	}
+	if [8]byte(ft[8:16]) != v3FooterMagic {
+		return nil, fmt.Errorf("core: bad footer magic %q in binary release", ft[8:16])
+	}
+	if err := expectEOF(r); err != nil {
+		return nil, err
+	}
+	s.computeEffLeaves()
+	s.finish()
+	return s, nil
+}
+
+// readZeroPad consumes n section-padding bytes, requiring them zero.
+func readZeroPad(r io.Reader, n int) error {
+	var b [v3Align]byte
+	for n > 0 {
+		k := min(n, len(b))
+		if _, err := io.ReadFull(r, b[:k]); err != nil {
+			return fmt.Errorf("core: reading binary release padding: %w", err)
+		}
+		for _, c := range b[:k] {
+			if c != 0 {
+				return fmt.Errorf("core: binary release has non-zero section padding")
+			}
+		}
+		n -= k
+	}
+	return nil
+}
+
+// readBitsetWords fills dst from its on-disk little-endian words.
+func readBitsetWords(r io.Reader, dst bitset, name string) error {
+	raw := make([]byte, 8*len(dst))
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return fmt.Errorf("core: reading binary release %s bitset: %w", name, err)
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return nil
+}
+
+// checkBitsetTails enforces the canonical bitset contract: bits past the
+// last node are zero in both bitsets, and the pruned popcount matches the
+// header's declared count.
+func checkBitsetTails(usable, pruned bitset, nodes, numPruned int) error {
+	if tail := uint(nodes) & 63; tail != 0 {
+		if usable[len(usable)-1]>>tail != 0 {
+			return fmt.Errorf("core: binary release has published bits beyond node %d", nodes-1)
+		}
+		if pruned[len(pruned)-1]>>tail != 0 {
+			return fmt.Errorf("core: binary release has pruned bits beyond node %d", nodes-1)
+		}
+	}
+	got := 0
+	for _, w := range pruned {
+		got += bits.OnesCount64(w)
+	}
+	if got != numPruned {
+		return fmt.Errorf("core: binary release declares %d pruned nodes but marks %d", numPruned, got)
+	}
+	return nil
+}
+
+// checkV3Node runs the per-node validation of Release.Validate on a packed
+// record, plus the v3 canonicality rule: an unpublished node's count slot
+// must be exactly zero bits (the decoder cannot force-zero a read-only
+// mapping, so the writer must have).
+func checkV3Node(nd *[5]float64, i int, usable bool) error {
+	if !finiteRect([4]float64{nd[0], nd[1], nd[2], nd[3]}) {
+		return fmt.Errorf("core: release node %d has non-finite rect", i)
+	}
+	if nd[0] > nd[2] || nd[1] > nd[3] {
+		return fmt.Errorf("core: release node %d has inverted rect", i)
+	}
+	if usable {
+		if c := nd[4]; math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("core: release node %d has non-finite count", i)
+		}
+	} else if math.Float64bits(nd[4]) != 0 {
+		return fmt.Errorf("core: release node %d is unpublished but has a non-zero count slot", i)
+	}
+	return nil
+}
+
+// slabMapping owns one mmap'd artifact. Unmapping is idempotent: Close and
+// the GC cleanup can race without a double-munmap.
+type slabMapping struct {
+	data []byte
+	once sync.Once
+	err  error
+}
+
+func (m *slabMapping) unmap() error {
+	m.once.Do(func() { m.err = munmapBytes(m.data) })
+	return m.err
+}
+
+// cleanupMapping is the GC fallback for slabs never explicitly Closed; the
+// mapping (and the mapped file's inode) is released when the Slab becomes
+// unreachable, so the serving registry can drop a replaced slab and let
+// in-flight queries finish against the old pages.
+func cleanupMapping(m *slabMapping) { m.unmap() }
+
+// OpenSlabMmap opens a format-v3 artifact zero-copy: mmap(2), header and
+// bitset validation, and pointer-free column slices aliased over the
+// mapping. Open cost is independent of the node section's size — those
+// pages fault in on first query. The node records are NOT validated here;
+// call (*Slab).Verify for the deferred checksum + per-node pass, or use
+// ReadBinary for a fully-validated heap decode. Fails (with
+// errMmapUnsupported when the platform is the reason) on non-v3 artifacts,
+// platforms without mmap, or big-endian hosts; OpenSlabFile in the public
+// package falls back to the streaming decoder.
+func OpenSlabMmap(path string) (*Slab, error) {
+	if !mmapSupported {
+		return nil, errMmapUnsupported
+	}
+	if !hostLittleEndian() {
+		return nil, fmt.Errorf("core: mmap slab open requires a little-endian host")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < v3HeaderSize+v3FooterSize {
+		return nil, fmt.Errorf("core: %s: %d bytes is too short for a v3 release", path, size)
+	}
+	data, err := mmapFile(f, size)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: path, Err: err}
+	}
+	m := &slabMapping{data: data}
+	s, err := slabFromMapping(m)
+	if err != nil {
+		m.unmap()
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// slabFromMapping builds the aliased slab over a whole-file mapping.
+func slabFromMapping(m *slabMapping) (*Slab, error) {
+	data := m.data
+	hdr := (*[v3HeaderSize]byte)(data[:v3HeaderSize])
+	if [4]byte(hdr[0:4]) != v3Magic {
+		return nil, fmt.Errorf("core: bad magic %q in binary release (mmap open needs format v3)", hdr[0:4])
+	}
+	kind, height, domain, epsilon, nodes, numPruned, err := parseV3Header(hdr)
+	if err != nil {
+		return nil, err
+	}
+	lay := v3LayoutFor(nodes)
+	if int64(len(data)) != lay.size {
+		return nil, fmt.Errorf("core: binary release is %d bytes, v3 layout requires %d", len(data), lay.size)
+	}
+	s := &Slab{kind: kind, height: height, domain: domain, epsilon: epsilon}
+	s.initShape(height)
+	s.nodes = castRecords(data[lay.recordsOff:lay.recordsEnd], nodes)
+	s.usable = bitset(castWords(data[lay.usableOff : lay.usableOff+lay.bitsetLen]))
+	s.pruned = bitset(castWords(data[lay.prunedOff : lay.prunedOff+lay.bitsetLen]))
+	if err := checkBitsetTails(s.usable, s.pruned, nodes, numPruned); err != nil {
+		return nil, err
+	}
+	s.computeEffLeaves()
+	s.finish()
+	s.mapped = m
+	s.cleanup = runtime.AddCleanup(s, cleanupMapping, m)
+	return s, nil
+}
+
+// Verify runs the deferred full-body validation on an mmap-opened slab:
+// footer checksum over the whole body, zero padding, and the per-node
+// checks the streaming decoder performs inline. It reads every page of the
+// mapping (once — sequentially, which is also an effective prefault before
+// serving) but allocates nothing. On a slab that was decoded rather than
+// mapped the contract already held at construction, so Verify is a no-op.
+func (s *Slab) Verify() error {
+	s.ensureOpen()
+	if s.mapped == nil {
+		return nil
+	}
+	data := s.mapped.data
+	nodes := s.Len()
+	lay := v3LayoutFor(nodes)
+	crc := crc64.New(v3CRCTable)
+	crc.Write(data[:lay.footerOff])
+	ft := data[lay.footerOff:]
+	if got := binary.LittleEndian.Uint64(ft[0:8]); got != crc.Sum64() {
+		return fmt.Errorf("core: binary release checksum mismatch: footer %#x, body %#x", got, crc.Sum64())
+	}
+	if [8]byte(ft[8:16]) != v3FooterMagic {
+		return fmt.Errorf("core: bad footer magic %q in binary release", ft[8:16])
+	}
+	for _, span := range [][2]int64{
+		{lay.recordsEnd, lay.usableOff},
+		{lay.usableOff + lay.bitsetLen, lay.prunedOff},
+		{lay.prunedOff + lay.bitsetLen, lay.footerOff},
+	} {
+		for _, b := range data[span[0]:span[1]] {
+			if b != 0 {
+				return fmt.Errorf("core: binary release has non-zero section padding")
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		if err := checkV3Node(&s.nodes[i], i, s.usable.get(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

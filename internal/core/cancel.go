@@ -93,6 +93,7 @@ func (c *cancelToken) poll() bool {
 // A partial sum is never returned. With a never-cancellable context this is
 // exactly Query.
 func (s *Slab) QueryCtx(ctx context.Context, q geom.Rect) (float64, error) {
+	s.ensureOpen()
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -114,6 +115,7 @@ func (s *Slab) QueryCtx(ctx context.Context, q geom.Rect) (float64, error) {
 // returned even if the deadline expires on the way out: the answers are
 // complete and valid.
 func (s *Slab) CountBatchIntoCtx(ctx context.Context, out []float64, qs []geom.Rect, workers int) (QueryStats, error) {
+	s.ensureOpen()
 	if err := ctx.Err(); err != nil {
 		return QueryStats{}, err
 	}

@@ -18,7 +18,7 @@ func nodeCountOf(vb []byte) int {
 
 // FuzzReadRelease feeds arbitrary (and mutated-valid) bytes through the
 // full untrusted-artifact paths the server uses — the JSON decoder and the
-// format-v2 binary decoder: parse, validate, open, query. Whatever the
+// format v2 and v3 binary decoders: parse, validate, open, query. Whatever the
 // input, neither pipeline may panic, and anything that opens must answer
 // with finite counts through both the arena and the slab read path.
 func FuzzReadRelease(f *testing.F) {
@@ -80,6 +80,9 @@ func FuzzReadRelease(f *testing.F) {
 			f.Add(vb[:off])
 		}
 		f.Add(vb[:len(vb)-1])
+		// A valid artifact with a trailer appended: the decoder must read
+		// one byte past its computed end and require io.EOF.
+		f.Add(append(append([]byte{}, vb...), 0xAA))
 		// Over-length claims: header fields inflated far past what the body
 		// (or any tree) could carry — node count maxed, height past the
 		// arena cap, pruned count past the node count.
@@ -87,6 +90,28 @@ func FuzzReadRelease(f *testing.F) {
 		f.Add(corrupt(vb, 7, 13))
 		f.Add(corrupt(vb, 7, 255))
 		f.Add(corrupt(vb, 52, 0xff, 0xff, 0xff, 0x7f))
+
+		// The same artifact in format v3 seeds the record-major decoder:
+		// trailing garbage, truncations at every 64-aligned section boundary,
+		// checksum and footer-magic damage, and flipped body bits.
+		var b3 bytes.Buffer
+		if _, err := p.Release().WriteBinaryV3(&b3); err != nil {
+			f.Fatal(err)
+		}
+		v3 := b3.Bytes()
+		lay := v3LayoutFor(nodes)
+		f.Add(v3)
+		f.Add(append(append([]byte{}, v3...), 0xAA))
+		for _, cut := range []int64{v3HeaderSize, lay.recordsEnd, lay.usableOff + lay.bitsetLen,
+			lay.prunedOff + lay.bitsetLen, lay.footerOff, int64(len(v3)) - 1} {
+			f.Add(v3[:cut])
+		}
+		f.Add(corrupt(v3, 4, 9))                                    // bad version
+		f.Add(corrupt(v3, 56, 1))                                   // non-zero reserved header
+		f.Add(corrupt(v3, int(lay.recordsOff)+3, 0x40))             // record bit flip
+		f.Add(corrupt(v3, int(lay.recordsEnd), 1))                  // non-zero pad
+		f.Add(corrupt(v3, int(lay.footerOff), v3[lay.footerOff]^1)) // checksum damage
+		f.Add(corrupt(v3, int(lay.footerOff)+8, 'X'))               // footer magic damage
 	}
 	f.Add([]byte(`{}`))
 	// A bare over-claiming header with no body at all: the decoder must
@@ -104,13 +129,21 @@ func FuzzReadRelease(f *testing.F) {
 		if slab, err := ReadBinary(bytes.NewReader(data)); err == nil {
 			rects, counts := slab.LeafRegions()
 			checkOpened(t, slab.Query(slab.Domain()), rects, counts)
-			// Canonical encoding: decode(encode(decode(x))) is stable.
+			// Canonical encoding: decode(encode(decode(x))) is stable, in
+			// both binary formats, whichever format x arrived in.
 			var out bytes.Buffer
 			if _, err := slab.WriteBinary(&out); err != nil {
 				t.Fatalf("re-encoding a decoded binary release failed: %v", err)
 			}
 			if _, err := ReadBinary(bytes.NewReader(out.Bytes())); err != nil {
 				t.Fatalf("re-encoded binary release does not decode: %v", err)
+			}
+			var out3 bytes.Buffer
+			if _, err := slab.WriteBinaryV3(&out3); err != nil {
+				t.Fatalf("re-encoding a decoded release as v3 failed: %v", err)
+			}
+			if _, err := ReadBinary(bytes.NewReader(out3.Bytes())); err != nil {
+				t.Fatalf("re-encoded v3 release does not decode: %v", err)
 			}
 		}
 

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package core
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without a (wired-up) mmap fall back to the streaming v3
+// decoder: OpenSlabMmap fails fast with errMmapUnsupported and the public
+// OpenSlabFile reads the same artifact through ReadBinary instead. The
+// format is identical either way; only the open cost differs.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("core: mmap is not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errMmapUnsupported
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy open path; on unix it is real mmap(2).
+const mmapSupported = true
+
+// errMmapUnsupported is never returned on unix builds; it exists so the
+// portable callers can test for the fallback condition uniformly.
+var errMmapUnsupported = errors.New("core: mmap is not supported on this platform")
+
+// mmapFile maps the first size bytes of f read-only and shared: replicas
+// serving the same artifact share one page-cache copy, and pages fault in
+// on first touch. The mapping outlives f — closing the descriptor (and
+// even renaming or unlinking the file, which is how atomicfile publishes
+// replacements) keeps the mapped inode's pages valid until munmap.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("cannot map %d bytes", size)
+	}
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("%d bytes exceeds the address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"io"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"psd/internal/geom"
 	"psd/internal/par"
@@ -56,6 +59,15 @@ type Slab struct {
 	// pre-sizes its output with it.
 	effLeaves int
 
+	// mapped is non-nil when the columns alias an mmap'd v3 artifact
+	// (OpenSlabMmap) instead of heap memory; Close unmaps it, and a GC
+	// cleanup unmaps it if the slab is dropped without Close. closed makes
+	// use-after-Close a clean panic at the public entry points rather than
+	// a SIGBUS from a faulted-out mapping.
+	mapped  *slabMapping
+	cleanup runtime.Cleanup
+	closed  atomic.Bool
+
 	// stacks pools query DFS stacks so single queries are allocation-free.
 	stacks sync.Pool
 	// batchScratches and batchStates pool the node-major batch engine's
@@ -108,6 +120,17 @@ func newSlab(kind Kind, height int, domain geom.Rect, epsilon float64) *Slab {
 		domain:  domain,
 		epsilon: epsilon,
 	}
+	n := s.initShape(height)
+	s.nodes = make([][5]float64, n)
+	s.usable = newBitset(n)
+	s.pruned = newBitset(n)
+	return s
+}
+
+// initShape fills the depth-offset array of a fanout-4 complete tree and
+// returns its node count. Shared by newSlab and the mmap open path, which
+// aliases its columns over a mapping instead of allocating them.
+func (s *Slab) initShape(height int) int {
 	total := int32(0)
 	level := int32(1)
 	for d := 0; d <= height; d++ {
@@ -118,11 +141,36 @@ func newSlab(kind Kind, height int, domain geom.Rect, epsilon float64) *Slab {
 	for d := height + 1; d < len(s.offsets); d++ {
 		s.offsets[d] = total
 	}
-	n := int(total)
-	s.nodes = make([][5]float64, n)
-	s.usable = newBitset(n)
-	s.pruned = newBitset(n)
-	return s
+	return int(total)
+}
+
+// Close releases the slab. For an mmap-backed slab (OpenSlabMmap) it
+// unmaps the artifact; any later use of the slab panics ("used after
+// Close") instead of faulting on unmapped pages. Concurrent queries must
+// be drained first — Close is for owners, not for racing with readers (the
+// serving registry instead drops its reference and lets the GC cleanup
+// unmap once in-flight queries finish). Closing a heap-backed slab just
+// marks it unusable. Close is idempotent.
+func (s *Slab) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.mapped == nil {
+		return nil
+	}
+	s.cleanup.Stop()
+	// Drop the aliased columns so a stale reference that slips past
+	// ensureOpen hits a nil-slice panic, not the unmapped pages.
+	s.nodes, s.usable, s.pruned = nil, nil, nil
+	return s.mapped.unmap()
+}
+
+// ensureOpen guards every public entry point: one atomic load on the hot
+// path, a clean panic instead of a SIGBUS after Close.
+func (s *Slab) ensureOpen() {
+	if s.closed.Load() {
+		panic("core: Slab used after Close")
+	}
 }
 
 // setRect fills node i's rectangle entry.
@@ -154,11 +202,16 @@ func (s *Slab) depth(i int) int {
 }
 
 // computeEffLeaves counts the effective leaf regions after pruning, exactly
-// as OpenRelease does for the arena path.
+// as OpenRelease does for the arena path. It iterates the set bits of the
+// pruned bitset (O(words + pruned), not a per-node get loop): mmap open
+// runs this on every artifact, so it must stay cheap at tens of millions
+// of nodes.
 func (s *Slab) computeEffLeaves() {
 	eff := int(s.offsets[s.height+1] - s.offsets[s.height])
-	for i := 0; i < s.Len(); i++ {
-		if s.pruned.get(i) {
+	for wi, w := range s.pruned {
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
 			if d := s.depth(i); d < s.height {
 				eff -= 1<<(2*(s.height-d)) - 1
 			}
@@ -248,6 +301,7 @@ func mustParseKind(name string) Kind {
 // Release reconstructs the serializable artifact from the slab. A release
 // round-tripped through a slab (JSON or binary) re-serializes identically.
 func (s *Slab) Release() *Release {
+	s.ensureOpen()
 	n := s.Len()
 	rel := &Release{
 		Version: releaseVersion,
@@ -321,6 +375,7 @@ func (s *Slab) putStack(st *[]int32) { s.stacks.Put(st) }
 // arena path (PSD.Query) on the same release: the slab traversal visits the
 // same nodes and accumulates the same contributions in the same order.
 func (s *Slab) Query(q geom.Rect) float64 {
+	s.ensureOpen()
 	var st QueryStats
 	stack := s.getStack()
 	sum := s.queryIter(q, stack, &st, nil)
@@ -330,6 +385,7 @@ func (s *Slab) Query(q geom.Rect) float64 {
 
 // QueryWithStats is Query plus diagnostics.
 func (s *Slab) QueryWithStats(q geom.Rect) (float64, QueryStats) {
+	s.ensureOpen()
 	var st QueryStats
 	stack := s.getStack()
 	sum := s.queryIter(q, stack, &st, nil)
@@ -347,6 +403,7 @@ func (s *Slab) CountAll(qs []geom.Rect) []float64 {
 // CountAllWorkers is CountAll with an explicit worker bound (0 = one per
 // core, 1 = inline on the caller's goroutine).
 func (s *Slab) CountAllWorkers(qs []geom.Rect, workers int) []float64 {
+	s.ensureOpen()
 	out := make([]float64, len(qs))
 	par.For(par.Workers(workers), 0, len(qs), 8, func(lo, hi int) {
 		stack := s.getStack()
@@ -489,6 +546,7 @@ func overlapFraction(r *[5]float64, q geom.Rect) float64 {
 // as PSD.LeafRegions does, with the output pre-sized from the tracked
 // effective-leaf count.
 func (s *Slab) LeafRegions() ([]geom.Rect, []float64) {
+	s.ensureOpen()
 	capHint := s.effLeaves
 	if capHint < 1 {
 		capHint = 1

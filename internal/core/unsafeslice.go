@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// This file is the repo's single unsafe seam: the two casts that let a
+// read-only mmap'd v3 artifact serve as the slab's columns without a decode
+// copy. Both casts are pure reinterpretations — no lifetime is extended and
+// no writes happen through them (every Slab mutation path builds heap
+// columns) — and both check the preconditions the reinterpretation relies
+// on: exact length and 8-byte alignment. The on-disk records are
+// little-endian float64s, so aliasing additionally requires a little-endian
+// host (hostLittleEndian); big-endian hosts take the streaming decoder.
+//
+// Alignment holds by construction: mmap(2) returns page-aligned memory and
+// every v3 section offset is a multiple of 64. The checks stay anyway —
+// they are cheap, run once per open, and turn a layout regression into a
+// panic at open instead of corrupt reads later.
+
+// castRecords reinterprets b as n packed 40-byte node records.
+func castRecords(b []byte, n int) [][5]float64 {
+	if n == 0 {
+		return nil
+	}
+	if len(b) != n*v3RecordSize {
+		panic(fmt.Sprintf("core: castRecords: %d bytes for %d records", len(b), n))
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		panic("core: castRecords: misaligned mapping")
+	}
+	return unsafe.Slice((*[5]float64)(unsafe.Pointer(&b[0])), n)
+}
+
+// castWords reinterprets b as bitset words.
+func castWords(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("core: castWords: %d bytes is not whole words", len(b)))
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		panic("core: castWords: misaligned mapping")
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// hostLittleEndian reports whether the host's native float64/uint64 byte
+// order matches the on-disk little-endian encoding.
+func hostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"psd"
 )
 
 // FS is the registry's filesystem seam: every byte the watch-dir scanner and
@@ -18,12 +21,33 @@ type FS interface {
 	Glob(pattern string) ([]string, error)
 }
 
+// slabOpener is an optional FS capability: open a release artifact by path
+// through the cheapest route the platform allows — zero-copy mmap for v3
+// artifacts, a streaming decode otherwise. The real filesystem implements
+// it; faultfs does not, so the fault-injection suite keeps exercising the
+// byte-level reader path the quarantine classification was proven on.
+type slabOpener interface {
+	OpenSlab(path string) (*psd.Slab, error)
+}
+
 // osFS is the real filesystem, the default seam.
 type osFS struct{}
 
 func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
 func (osFS) Stat(name string) (fs.FileInfo, error)   { return os.Stat(name) }
 func (osFS) Glob(pattern string) ([]string, error)   { return filepath.Glob(pattern) }
+func (osFS) OpenSlab(path string) (*psd.Slab, error) { return psd.OpenSlabFile(path) }
+
+// transientOpenErr classifies a direct-open failure for the quarantine
+// policy, mirroring readTracker's distinction: a *fs.PathError means the
+// filesystem operation itself failed (open, stat, mmap, a read syscall
+// during fallback decode) and is worth retrying; anything else means the
+// bytes were reachable and are simply not a valid release — permanent
+// until the file changes.
+func transientOpenErr(err error) bool {
+	var pe *fs.PathError
+	return errors.As(err, &pe)
+}
 
 // readTracker wraps an artifact reader and remembers whether any read failed
 // with a genuine I/O error (as opposed to a clean EOF). The distinction is

@@ -2,7 +2,9 @@ package psd
 
 import (
 	"bufio"
+	"errors"
 	"io"
+	"os"
 
 	"psd/internal/core"
 )
@@ -27,6 +29,17 @@ func (t *Tree) WriteBinaryRelease(w io.Writer) error {
 	return err
 }
 
+// WriteBinaryV3Release serializes the tree's private release in the
+// record-major binary format v3 — the same artifact as WriteRelease, laid
+// out so that OpenSlabFile serves it zero-copy via mmap: the node section
+// is exactly the serving slab's packed 40-byte records, 64-byte aligned,
+// with a trailing CRC-64 checksum. Use it for large artifacts that serving
+// replicas open; v2 and JSON remain fully supported.
+func (t *Tree) WriteBinaryV3Release(w io.Writer) error {
+	_, err := t.inner.Release().WriteBinaryV3(w)
+	return err
+}
+
 // OpenSlab reconstructs the flat serving form of a serialized release,
 // accepting either format — versioned JSON (format 1) or binary columnar
 // (format 2), distinguished by the leading magic bytes. This is the path
@@ -38,6 +51,40 @@ func OpenSlab(r io.Reader) (*Slab, error) {
 		return nil, err
 	}
 	return &Slab{inner: inner}, nil
+}
+
+// OpenSlabFile opens a serialized release from a file, choosing the
+// cheapest path the artifact and platform allow. A format-v3 artifact on a
+// little-endian unix host is opened zero-copy: mmap(2) plus header and
+// bitset validation, with the node records left on disk until queries
+// fault them in — open cost is independent of artifact size, and replicas
+// serving the same file share one page cache. Everything else (v2, JSON,
+// v3 on platforms without mmap) is read and decoded as OpenSlab would.
+//
+// The zero-copy path does not read the node section, so it cannot check
+// the artifact's checksum; call Verify afterwards to force the full-body
+// validation pass (the serving registry does). Close the returned slab to
+// unmap deterministically, or drop it and let the GC cleanup unmap.
+func OpenSlabFile(path string) (*Slab, error) {
+	inner, err := core.OpenSlabMmap(path)
+	if err == nil {
+		return &Slab{inner: inner}, nil
+	}
+	// A failure to open or stat the file would fail the read path the same
+	// way: surface it. Anything else — not a v3 artifact, no mmap on this
+	// platform, an mmap(2) refusal from an exotic filesystem — falls back
+	// to reading and decoding, which also runs the full validation, so a
+	// genuinely corrupt v3 artifact reports its precise decode error.
+	var pe *os.PathError
+	if errors.As(err, &pe) && pe.Op != "mmap" {
+		return nil, err
+	}
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		return nil, ferr
+	}
+	defer f.Close()
+	return OpenSlab(f)
 }
 
 func openSlab(r io.Reader) (*core.Slab, error) {

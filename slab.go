@@ -123,3 +123,28 @@ func (s *Slab) WriteBinaryRelease(w io.Writer) error {
 	_, err := s.inner.WriteBinary(w)
 	return err
 }
+
+// WriteBinaryV3Release serializes the slab's release in the record-major
+// binary format v3: the node section is byte-for-byte the slab's packed hot
+// records, so OpenSlabFile maps the artifact zero-copy instead of decoding
+// it. See the README's "Release format v3" section for the layout.
+func (s *Slab) WriteBinaryV3Release(w io.Writer) error {
+	_, err := s.inner.WriteBinaryV3(w)
+	return err
+}
+
+// Verify runs the deferred full-body validation on an mmap-opened slab —
+// the footer checksum plus the per-node checks a streaming decode performs
+// inline — reading every page of the mapping once. On a slab that was
+// decoded into heap memory those checks already ran, so Verify returns nil
+// without work. Serving tiers call this at load time so a corrupt artifact
+// is quarantined instead of answering queries wrong.
+func (s *Slab) Verify() error { return s.inner.Verify() }
+
+// Close releases the slab; for a slab opened zero-copy by OpenSlabFile it
+// unmaps the artifact. Any later use panics cleanly ("used after Close").
+// Concurrent queries must be drained first. Slabs that are simply dropped
+// are unmapped by a GC cleanup instead, so Close is optional — it exists
+// for callers that want the mapping (and the file's disk space, if it was
+// replaced) released deterministically. Idempotent.
+func (s *Slab) Close() error { return s.inner.Close() }
