@@ -2,17 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"psd"
+	"psd/internal/cluster"
 	"psd/internal/eval"
 	"psd/internal/serve"
 	"psd/internal/workload"
@@ -57,6 +62,18 @@ type serveRow struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// MeanLatencyNs is the server-side mean request latency.
 	MeanLatencyNs int64 `json:"mean_latency_ns"`
+	// Replicas is the fleet size for fleet rows (0 for direct-to-server
+	// rows, which bypass the proxy entirely).
+	Replicas int `json:"replicas,omitempty"`
+	// P50LatencyNs / P99LatencyNs are client-observed request latency
+	// percentiles (fleet rows only).
+	P50LatencyNs int64 `json:"p50_latency_ns,omitempty"`
+	P99LatencyNs int64 `json:"p99_latency_ns,omitempty"`
+	// FailoverBlipNs is the worst client-observed request latency in a run
+	// where one replica is hard-killed mid-sweep: the longest any single
+	// query was delayed by failover (the query still succeeded — the run
+	// errors out on any failed query).
+	FailoverBlipNs int64 `json:"failover_blip_ns,omitempty"`
 }
 
 // runServeBench builds a release at the eval scale, serves it through the
@@ -91,7 +108,7 @@ func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
 	}
 
 	report := serveReport{
-		Schema:        1,
+		Schema:        2,
 		GoVersion:     runtime.Version(),
 		CPUs:          runtime.GOMAXPROCS(0),
 		Scale:         scale.Name,
@@ -122,7 +139,7 @@ func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
 
 		if isHot(m.name) {
 			// Warm pass: prime the cache with the whole pool.
-			if err := replay(srv.URL, pool, m.batchSize, 1, (len(pool)+max(m.batchSize, 1)-1)/max(m.batchSize, 1)); err != nil {
+			if err := replay(srv.URL, pool, m.batchSize, 1, (len(pool)+max(m.batchSize, 1)-1)/max(m.batchSize, 1), nil); err != nil {
 				srv.Close()
 				return err
 			}
@@ -130,7 +147,7 @@ func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
 		rel, _ := reg.Get("bench")
 		before := rel.Stats()
 		start := time.Now()
-		if err := replay(srv.URL, pool, m.batchSize, clients, m.requests); err != nil {
+		if err := replay(srv.URL, pool, m.batchSize, clients, m.requests, nil); err != nil {
 			srv.Close()
 			return err
 		}
@@ -171,6 +188,35 @@ func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
 		srv.Close()
 	}
 
+	// Fleet rows: the same single-query load through the psdproxy front
+	// end — 1 vs 3 replicas for the routing overhead and scaling story,
+	// then 3 replicas with one hard-killed mid-run for the failover blip.
+	fleetModes := []struct {
+		name     string
+		replicas int
+		requests int
+		kill     bool
+	}{
+		{"fleet1-single", 1, 2 * len(pool), false},
+		{"fleet3-single", 3, 2 * len(pool), false},
+		{"fleet3-failover", 3, 4 * len(pool), true},
+	}
+	for _, m := range fleetModes {
+		row, err := fleetBench(artifact.Bytes(), pool, clients, m.replicas, m.requests, m.kill)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		row.Name = fmt.Sprintf("%s/clients=%d", m.name, clients)
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("serve/%-24s %9d queries %8.2fs %12.0f queries/sec  p50 %s p99 %s",
+			row.Name, row.Queries, row.Seconds, row.QueriesPerSec,
+			time.Duration(row.P50LatencyNs), time.Duration(row.P99LatencyNs))
+		if m.kill {
+			fmt.Printf("  failover-blip %s", time.Duration(row.FailoverBlipNs))
+		}
+		fmt.Println()
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -185,10 +231,133 @@ func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
 
 func isHot(name string) bool { return len(name) > 4 && name[len(name)-4:] == "-hot" }
 
+// latRecorder collects client-observed per-request latencies.
+type latRecorder struct {
+	mu sync.Mutex
+	ns []int64
+}
+
+func (l *latRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.ns = append(l.ns, int64(d))
+	l.mu.Unlock()
+}
+
+func (l *latRecorder) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ns)
+}
+
+// percentiles returns (p50, p99, max) of the recorded latencies.
+func (l *latRecorder) percentiles() (int64, int64, int64) {
+	l.mu.Lock()
+	ns := append([]int64(nil), l.ns...)
+	l.mu.Unlock()
+	if len(ns) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) int64 { return ns[int(q*float64(len(ns)-1))] }
+	return at(0.50), at(0.99), ns[len(ns)-1]
+}
+
+// fleetBench runs the single-query load through a real cluster.Proxy over
+// `replicas` psdserve stacks. With kill set, one replica is hard-killed
+// (client connections severed) a quarter of the way through the run; the
+// run still requires every query to succeed — the failover blip shows up
+// as tail latency, not as errors.
+func fleetBench(artifact []byte, pool [][4]float64, clients, replicas, requests int, kill bool) (serveRow, error) {
+	quiet := log.New(io.Discard, "", 0)
+	regs := make([]*serve.Registry, replicas)
+	servers := make([]*httptest.Server, replicas)
+	urls := make([]string, replicas)
+	for i := range regs {
+		regs[i] = serve.NewRegistry(1 << 16)
+		regs[i].SetLogger(quiet)
+		if _, err := regs[i].Register("bench", "bench", bytes.NewReader(artifact)); err != nil {
+			return serveRow{}, err
+		}
+		api := &serve.API{Registry: regs[i], Logger: quiet}
+		servers[i] = httptest.NewServer(api.Handler())
+		api.SetReady(true)
+		urls[i] = servers[i].URL
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	p := cluster.NewProxy(urls, 0)
+	p.Logger = quiet
+	p.AttemptTimeout = 10 * time.Second
+	p.SetReady(true)
+	h := &cluster.Health{Backends: p.BackendList(),
+		Interval: 100 * time.Millisecond, Timeout: time.Second, Logger: quiet}
+	hctx, hstop := context.WithCancel(context.Background())
+	defer hstop()
+	go h.Run(hctx)
+	front := httptest.NewServer(p.Handler())
+	defer front.Close()
+
+	rec := &latRecorder{}
+	var killWG sync.WaitGroup
+	if kill {
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			for rec.count() < requests/4 {
+				time.Sleep(time.Millisecond)
+			}
+			servers[0].CloseClientConnections()
+			servers[0].Close()
+		}()
+	}
+	start := time.Now()
+	if err := replay(front.URL, pool, 0, clients, requests, rec.add); err != nil {
+		return serveRow{}, fmt.Errorf("query failed during fleet run (want zero failures): %w", err)
+	}
+	elapsed := time.Since(start).Seconds()
+	killWG.Wait()
+
+	// Aggregate the cache story across the fleet.
+	var hits, queries uint64
+	for _, reg := range regs {
+		if rel, ok := reg.Get("bench"); ok {
+			st := rel.Stats()
+			hits += st.CacheHits
+			queries += st.Queries
+		}
+	}
+	var hitRate float64
+	if queries > 0 {
+		hitRate = float64(hits) / float64(queries)
+	}
+	p50, p99, worst := rec.percentiles()
+	row := serveRow{
+		Clients:       clients,
+		Requests:      requests,
+		Queries:       requests,
+		DistinctRects: len(pool),
+		Seconds:       elapsed,
+		QueriesPerSec: float64(requests) / elapsed,
+		CacheHitRate:  hitRate,
+		Replicas:      replicas,
+		P50LatencyNs:  p50,
+		P99LatencyNs:  p99,
+	}
+	if kill {
+		row.FailoverBlipNs = worst
+	}
+	return row, nil
+}
+
 // replay issues n requests against the server from the given number of
 // concurrent clients, cycling through the query pool. batchSize 0 uses the
 // single-query endpoint; otherwise each request carries batchSize rects.
-func replay(baseURL string, pool [][4]float64, batchSize, clients, n int) error {
+// record, when non-nil, receives each request's client-observed latency.
+func replay(baseURL string, pool [][4]float64, batchSize, clients, n int, record func(time.Duration)) error {
 	var next atomic.Int64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
@@ -203,6 +372,7 @@ func replay(baseURL string, pool [][4]float64, batchSize, clients, n int) error 
 					return
 				}
 				var err error
+				reqStart := time.Now()
 				if batchSize == 0 {
 					r := pool[i%len(pool)]
 					url := fmt.Sprintf("%s/v1/releases/bench/count?rect=%g,%g,%g,%g",
@@ -222,6 +392,9 @@ func replay(baseURL string, pool [][4]float64, batchSize, clients, n int) error 
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
+				}
+				if record != nil {
+					record(time.Since(reqStart))
 				}
 			}
 		}()

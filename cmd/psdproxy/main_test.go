@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"log"
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestStartupErrors pins the non-zero-exit contract: a proxy with no
+// backends, only-garbage backends, or an unbindable address must fail
+// loudly from run, not half-start. (The full fleet behavior — failover,
+// rollouts, metrics — is exercised in internal/cluster's fault suite
+// and scripts/fleet_e2e.sh; this test is only about startup.)
+func TestStartupErrors(t *testing.T) {
+	busy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "no backends",
+			args: nil,
+			want: "no backends",
+		},
+		{
+			name: "only empty backend URLs",
+			args: []string{"-backend", "/"},
+			want: "no usable backend",
+		},
+		{
+			name: "bind failure",
+			args: []string{"-backend", "http://127.0.0.1:1", "-addr", busy.Addr().String()},
+			want: "bind",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var logs bytes.Buffer
+			logger := log.New(&logs, "", 0)
+			err := run(tc.args, logger)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

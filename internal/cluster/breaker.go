@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses requests until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe request: success closes the
+	// breaker, failure reopens it for a fresh window.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker. The proxy consults Allow
+// before each attempt and reports the outcome with Success/Failure;
+// FailureThreshold consecutive failures open the breaker, which refuses
+// further attempts for OpenFor, then admits one half-open probe whose
+// outcome decides between closing and reopening. Failures here are data-
+// path verdicts (transport errors, 5xx); orderly 503 sheds do not count —
+// see the proxy's classification.
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (<=0 means DefaultBreakerFailures).
+	FailureThreshold int
+	// OpenFor is how long an open breaker refuses before going half-open
+	// (<=0 means DefaultBreakerOpenFor).
+	OpenFor time.Duration
+
+	// now is the clock seam (tests pin it); nil means time.Now.
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // when an open breaker may go half-open
+	probing   bool      // a half-open probe is in flight
+	// trips counts closed→open transitions (including reopen-from-half-
+	// open), surfaced in /metrics.
+	trips uint64
+}
+
+// DefaultBreakerFailures opens a breaker after this many consecutive
+// failures when FailureThreshold is unset.
+const DefaultBreakerFailures = 5
+
+// DefaultBreakerOpenFor is the open window when OpenFor is unset.
+const DefaultBreakerOpenFor = 5 * time.Second
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return DefaultBreakerFailures
+}
+
+func (b *Breaker) openFor() time.Duration {
+	if b.OpenFor > 0 {
+		return b.OpenFor
+	}
+	return DefaultBreakerOpenFor
+}
+
+// Allow reports whether an attempt may proceed. In the half-open state
+// only one probe is admitted at a time; concurrent attempts are refused
+// until the probe reports back.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful attempt: it resets the failure run and,
+// from half-open, closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a failed attempt: from half-open it reopens the
+// breaker immediately; while closed it opens once the consecutive-
+// failure threshold is reached.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.reopen()
+		return
+	}
+	if b.state == BreakerOpen {
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold() {
+		b.reopen()
+	}
+}
+
+// reopen moves to the open state for a fresh window (mu held).
+func (b *Breaker) reopen() {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.probing = false
+	b.openUntil = b.clock().Add(b.openFor())
+	b.trips++
+}
+
+// State returns the breaker's current position, resolving an elapsed
+// open window to half-open so observers see what Allow would do.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.clock().Before(b.openUntil) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

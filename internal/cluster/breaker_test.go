@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock pins a breaker's notion of now.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, openFor time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	return &Breaker{FailureThreshold: threshold, OpenFor: openFor, now: clk.now}, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("failure %d: breaker refused while under threshold", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures: %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3/3 failures: %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the window")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state: %v, want closed (success should reset the consecutive run)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after window: %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success: %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure: %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request inside the fresh window")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2 (initial open + reopen)", b.Trips())
+	}
+	// And it can still recover after the fresh window.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second half-open probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state: %v, want closed", b.State())
+	}
+}
+
+func TestBreakerFailureWhileOpenIsIgnored(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	b.Failure()
+	trips := b.Trips()
+	b.Failure() // e.g. an in-flight attempt resolving after the trip
+	if b.Trips() != trips {
+		t.Fatalf("failure while open tripped again: %d -> %d", trips, b.Trips())
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state: %v, want open", b.State())
+	}
+}

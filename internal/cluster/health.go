@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health actively probes each backend's /readyz and drives the
+// healthy→suspect→down state machine. One probe failure demotes a
+// healthy backend to suspect (still routable — a single dropped probe
+// must not drain a replica); DownAfter consecutive failures declare it
+// down (skipped by routing); UpAfter consecutive successes from suspect
+// or down restore it to healthy, so a flapping replica has to prove
+// itself before taking traffic again.
+//
+// The checker is the control plane's view of liveness; the data path has
+// its own verdicts (per-backend breakers, per-attempt retries). The two
+// deliberately do not feed each other: probes are cheap, periodic, and
+// unambiguous, while data-path failures can be caused by the request
+// itself (a poisoned body, an over-deadline query) and must not demote a
+// replica for everyone else.
+type Health struct {
+	// Backends is the probed fleet.
+	Backends []*Backend
+	// Interval is the probe period (<=0 means DefaultProbeInterval).
+	Interval time.Duration
+	// Timeout bounds one probe round trip (<=0 means DefaultProbeTimeout).
+	Timeout time.Duration
+	// DownAfter is the consecutive-failure count that declares a backend
+	// down (<=0 means DefaultDownAfter).
+	DownAfter int
+	// UpAfter is the consecutive-success count that restores a suspect or
+	// down backend (<=0 means DefaultUpAfter).
+	UpAfter int
+	// Client issues the probes (nil means a dedicated client with the
+	// probe timeout).
+	Client *http.Client
+	// Logger receives state-transition lines (nil means the standard
+	// logger).
+	Logger *log.Logger
+}
+
+// Defaults for the probe loop: tight enough that a dead replica stops
+// receiving traffic within ~2s, loose enough that probes are noise-level
+// load.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = time.Second
+	DefaultDownAfter     = 3
+	DefaultUpAfter       = 2
+)
+
+func (h *Health) interval() time.Duration {
+	if h.Interval > 0 {
+		return h.Interval
+	}
+	return DefaultProbeInterval
+}
+
+func (h *Health) timeout() time.Duration {
+	if h.Timeout > 0 {
+		return h.Timeout
+	}
+	return DefaultProbeTimeout
+}
+
+func (h *Health) downAfter() int {
+	if h.DownAfter > 0 {
+		return h.DownAfter
+	}
+	return DefaultDownAfter
+}
+
+func (h *Health) upAfter() int {
+	if h.UpAfter > 0 {
+		return h.UpAfter
+	}
+	return DefaultUpAfter
+}
+
+func (h *Health) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return &http.Client{Timeout: h.timeout()}
+}
+
+func (h *Health) logf(format string, args ...any) {
+	if h.Logger != nil {
+		h.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Run probes the fleet every Interval until ctx is done. The first round
+// fires immediately so a fleet started against a dead backend converges
+// without waiting out a full interval.
+func (h *Health) Run(ctx context.Context) {
+	t := time.NewTicker(h.interval())
+	defer t.Stop()
+	for {
+		h.CheckOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// CheckOnce probes every backend once, concurrently, and applies the
+// state transitions. Exposed so tests drive the state machine
+// deterministically without a ticker.
+func (h *Health) CheckOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range h.Backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			h.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe issues one /readyz round trip and applies the outcome.
+func (h *Health) probe(ctx context.Context, b *Backend) {
+	pctx, cancel := context.WithTimeout(ctx, h.timeout())
+	defer cancel()
+	b.Probes.Add(1)
+	err := h.readyz(pctx, b.URL)
+	if err != nil {
+		b.ProbeFails.Add(1)
+	}
+
+	b.probeMu.Lock()
+	b.lastProbe = time.Now()
+	if err != nil {
+		b.lastErr = err.Error()
+		b.consecOK = 0
+		b.consecFail++
+		fails := b.consecFail
+		b.probeMu.Unlock()
+		switch {
+		case fails >= h.downAfter():
+			if prev := b.setState(Down); prev != Down {
+				h.logf("cluster: backend %s %s -> down (%d consecutive probe failures): %v",
+					b.URL, prev, fails, err)
+			}
+		default:
+			if prev := b.setState(Suspect); prev == Healthy {
+				h.logf("cluster: backend %s healthy -> suspect: %v", b.URL, err)
+			}
+		}
+		return
+	}
+	b.lastErr = ""
+	b.consecFail = 0
+	b.consecOK++
+	oks := b.consecOK
+	b.probeMu.Unlock()
+	if b.State() != Healthy && oks >= h.upAfter() {
+		prev := b.setState(Healthy)
+		h.logf("cluster: backend %s %s -> healthy (%d consecutive probe successes)",
+			b.URL, prev, oks)
+	}
+}
+
+// readyz performs the probe: any 2xx from GET /readyz counts as ready;
+// a non-2xx status, transport error, or timeout is a failure.
+func (h *Health) readyz(ctx context.Context, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flipServer is an httptest replica whose /readyz answer is switchable.
+type flipServer struct {
+	*httptest.Server
+	ready atomic.Bool
+}
+
+func newFlipServer(t *testing.T) *flipServer {
+	t.Helper()
+	fs := &flipServer{}
+	fs.ready.Store(true)
+	fs.Server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if fs.ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(fs.Close)
+	return fs
+}
+
+func quietHealth(backends ...*Backend) *Health {
+	return &Health{
+		Backends:  backends,
+		Timeout:   2 * time.Second,
+		DownAfter: 3,
+		UpAfter:   2,
+		Logger:    log.New(io.Discard, "", 0),
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	srv := newFlipServer(t)
+	b := NewBackend(srv.URL)
+	h := quietHealth(b)
+	ctx := context.Background()
+
+	h.CheckOnce(ctx)
+	if b.State() != Healthy {
+		t.Fatalf("after ready probe: %v, want healthy", b.State())
+	}
+
+	srv.ready.Store(false)
+	h.CheckOnce(ctx)
+	if b.State() != Suspect {
+		t.Fatalf("after 1 failed probe: %v, want suspect (still routable)", b.State())
+	}
+	h.CheckOnce(ctx)
+	if b.State() != Suspect {
+		t.Fatalf("after 2 failed probes: %v, want suspect", b.State())
+	}
+	h.CheckOnce(ctx)
+	if b.State() != Down {
+		t.Fatalf("after DownAfter=3 failed probes: %v, want down", b.State())
+	}
+
+	// One success is not enough to restore a down backend...
+	srv.ready.Store(true)
+	h.CheckOnce(ctx)
+	if b.State() != Down {
+		t.Fatalf("after 1 success: %v, want still down (UpAfter=2)", b.State())
+	}
+	// ...two in a row are.
+	h.CheckOnce(ctx)
+	if b.State() != Healthy {
+		t.Fatalf("after 2 consecutive successes: %v, want healthy", b.State())
+	}
+	if _, lastErr := b.LastProbe(); lastErr != "" {
+		t.Fatalf("last probe error not cleared: %q", lastErr)
+	}
+}
+
+func TestHealthFailureRunResetBySuccess(t *testing.T) {
+	srv := newFlipServer(t)
+	b := NewBackend(srv.URL)
+	h := quietHealth(b)
+	ctx := context.Background()
+
+	// Flapping below DownAfter must never declare the backend down.
+	for i := 0; i < 4; i++ {
+		srv.ready.Store(false)
+		h.CheckOnce(ctx)
+		h.CheckOnce(ctx)
+		if b.State() == Down {
+			t.Fatalf("round %d: 2 failures declared down (DownAfter=3)", i)
+		}
+		srv.ready.Store(true)
+		h.CheckOnce(ctx)
+		h.CheckOnce(ctx)
+		if b.State() != Healthy {
+			t.Fatalf("round %d: %v, want healthy after recovery", i, b.State())
+		}
+	}
+}
+
+func TestHealthDeadBackendGoesDown(t *testing.T) {
+	srv := newFlipServer(t)
+	url := srv.URL
+	srv.Close() // connection refused from the start
+	b := NewBackend(url)
+	h := quietHealth(b)
+	h.Timeout = 500 * time.Millisecond
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		h.CheckOnce(ctx)
+	}
+	if b.State() != Down {
+		t.Fatalf("dead backend after 3 probes: %v, want down", b.State())
+	}
+	if b.Probes.Load() != 3 || b.ProbeFails.Load() != 3 {
+		t.Fatalf("probe counters: %d/%d, want 3/3", b.Probes.Load(), b.ProbeFails.Load())
+	}
+	if _, lastErr := b.LastProbe(); lastErr == "" {
+		t.Fatal("last probe error empty for a dead backend")
+	}
+}
+
+func TestHealthRunLoopConverges(t *testing.T) {
+	srv := newFlipServer(t)
+	srv.ready.Store(false)
+	b := NewBackend(srv.URL)
+	h := quietHealth(b)
+	h.Interval = 10 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { h.Run(ctx); close(done) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for b.State() != Down {
+		if time.Now().After(deadline) {
+			t.Fatalf("backend never went down; state %v after %d probes", b.State(), b.Probes.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.ready.Store(true)
+	for b.State() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("backend never recovered; state %v", b.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}

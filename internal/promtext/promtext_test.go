@@ -1,0 +1,60 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterExposition(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Family("app_requests_total", "counter", "Requests served.")
+	w.Sample("app_requests_total", nil, 42)
+	w.Family("app_temp", "gauge", "Help with\nnewline and back\\slash.")
+	w.Sample("app_temp", []Label{{Name: "zone", Value: `a"b\c` + "\n"}}, 0.5)
+	w.Sample("app_temp", []Label{{Name: "zone", Value: "plain"}, {Name: "shard", Value: "0"}}, 1e21)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	got := sb.String()
+	want := "# HELP app_requests_total Requests served.\n" +
+		"# TYPE app_requests_total counter\n" +
+		"app_requests_total 42\n" +
+		"# HELP app_temp Help with\\nnewline and back\\\\slash.\n" +
+		"# TYPE app_temp gauge\n" +
+		"app_temp{zone=\"a\\\"b\\\\c\\n\"} 0.5\n" +
+		"app_temp{zone=\"plain\",shard=\"0\"} 1e+21\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "injected write failure" }
+
+func TestWriterStickyError(t *testing.T) {
+	fw := &failWriter{}
+	w := NewWriter(fw)
+	w.Family("m", "gauge", "h") // second printf fails
+	w.Sample("m", nil, 1)
+	w.Sample("m", nil, 2)
+	if w.Err() == nil {
+		t.Fatal("sticky error lost")
+	}
+	if fw.n != 2 {
+		t.Fatalf("writes after failure: %d calls, want 2 (later calls must no-op)", fw.n)
+	}
+}

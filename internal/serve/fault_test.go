@@ -228,6 +228,9 @@ func TestTransientIORetryAndBackoff(t *testing.T) {
 	ffs3.Set(path, faultfs.Fault{ReadErr: errIO})
 	reg3 := quietRegistry(64, ffs3, &logBuf)
 	reg3.retryBase = time.Hour
+	// Pin the jitter to its ceiling: this test is about the gate holding
+	// for the full backoff window, not about the draw.
+	reg3.jitter = func(d time.Duration) time.Duration { return d }
 	reg3.ScanDir(dir)
 	for i := 0; i < 3; i++ {
 		if _, _, err := reg3.ScanDir(dir); err != nil {

@@ -88,6 +88,9 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /readyz", a.handleReadyz)
 	mux.HandleFunc("GET /stats", a.handleServerStats)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /v1/manifest", a.handleManifestGet)
+	mux.HandleFunc("POST /v1/manifest", a.handleManifestApply)
 	mux.HandleFunc("GET /v1/releases", a.handleList)
 	mux.HandleFunc("POST /v1/releases/{name}", a.handleRegister)
 	mux.HandleFunc("DELETE /v1/releases/{name}", a.handleDelete)
@@ -363,6 +366,42 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		"release": rel.Name,
 		"stats":   rel.Stats(),
 	})
+}
+
+// handleManifestGet reports the last applied rollout manifest; 404 until
+// one has been applied (a watch-dir or flag-loaded replica has none).
+func (a *API) handleManifestGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.Registry.CurrentManifest()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no manifest applied")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleManifestApply pulls, verifies, and atomically installs a rollout
+// manifest. A failed apply changes nothing (400: the replica still
+// serves its previous set), which is what the fleet coordinator's
+// rollback leans on.
+func (a *API) handleManifestApply(w http.ResponseWriter, r *http.Request) {
+	var m Manifest
+	body := http.MaxBytesReader(w, r.Body, a.maxBody())
+	if err := json.NewDecoder(body).Decode(&m); err != nil {
+		if tooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"manifest exceeds the %d-byte body limit", a.maxBody())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad manifest body: %v", err)
+		return
+	}
+	if err := a.Registry.ApplyManifest(m); err != nil {
+		writeError(w, http.StatusBadRequest, "apply manifest: %v", err)
+		return
+	}
+	a.logf("serve: applied manifest %q (%d releases)", m.Version, len(m.Releases))
+	st, _ := a.Registry.CurrentManifest()
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (a *API) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math/rand/v2"
 	"sort"
 	"time"
 )
@@ -21,9 +22,22 @@ import (
 // retried before the scanner stops re-reading it (until the file changes).
 const maxLoadAttempts = 4
 
-// defaultRetryBase is the first retry delay for transient failures; each
-// further attempt doubles it.
+// defaultRetryBase is the first retry delay ceiling for transient
+// failures; each further attempt doubles it. The actual delay is a full-
+// jitter draw from [0, ceiling]: N replicas watching one shared release
+// directory all see the same NFS blip at the same moment, and pure
+// exponential backoff would march them back in lockstep, re-thundering
+// the filer on every attempt. Jitter decorrelates their schedules
+// (AWS-style "full jitter"; the fleet proxy's retry path does the same).
 const defaultRetryBase = time.Second
+
+// fullJitter draws the retry delay uniformly from [0, d].
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d) + 1))
+}
 
 // Quarantine kinds: how a load failed, which decides the retry policy.
 const (
@@ -123,7 +137,8 @@ func (g *Registry) noteLoadFailure(name, path string, st fileState, transient bo
 	qe.info.Reason = err.Error()
 	qe.info.LastTried = now
 	qe.state = st
-	qe.nextRetry = now.Add(g.retryBase << (qe.info.Attempts - 1))
+	delay := g.jitterFn()(g.retryBase << (qe.info.Attempts - 1))
+	qe.nextRetry = now.Add(delay)
 	attempts := qe.info.Attempts
 	g.mu.Unlock()
 	switch {
@@ -134,7 +149,7 @@ func (g *Registry) noteLoadFailure(name, path string, st fileState, transient bo
 			path, attempts, err)
 	default:
 		g.logf("serve: load failed %s (io, attempt %d/%d, next retry in %s): %v",
-			path, attempts, maxLoadAttempts, g.retryBase<<(attempts-1), err)
+			path, attempts, maxLoadAttempts, delay.Round(time.Millisecond), err)
 	}
 }
 

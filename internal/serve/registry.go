@@ -222,17 +222,26 @@ func (f fileState) settled() bool {
 type Registry struct {
 	cacheSize int
 	// fsys is the filesystem seam every file load flows through (nil means
-	// the real filesystem); retryBase scales the transient-failure backoff;
-	// logger receives quarantine lines (nil means the standard logger). All
-	// three are setup-time knobs, set before the registry serves traffic.
+	// the real filesystem); retryBase scales the transient-failure backoff
+	// ceiling and jitter draws the actual delay from [0, ceiling] (nil
+	// means fullJitter — tests pin it to identity for determinism); logger
+	// receives quarantine lines (nil means the standard logger). All are
+	// setup-time knobs, set before the registry serves traffic.
 	fsys      FS
 	logger    *log.Logger
 	retryBase time.Duration
+	jitter    func(time.Duration) time.Duration
 
 	mu         sync.RWMutex
 	entries    map[string]*Release
 	files      map[string]fileState
 	quarantine map[string]*quarantineEntry
+	// manifest is the last applied rollout manifest (manifest.go);
+	// manifestOwned tracks which entries it installed so a later
+	// manifest can remove the ones it no longer names.
+	manifest      *Manifest
+	manifestAt    time.Time
+	manifestOwned map[string]bool
 }
 
 // NewRegistry returns an empty registry whose releases each get an answer
@@ -260,6 +269,13 @@ func (g *Registry) fs() FS {
 		return g.fsys
 	}
 	return osFS{}
+}
+
+func (g *Registry) jitterFn() func(time.Duration) time.Duration {
+	if g.jitter != nil {
+		return g.jitter
+	}
+	return fullJitter
 }
 
 func (g *Registry) logf(format string, args ...any) {
