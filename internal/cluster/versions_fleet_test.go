@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"psd"
+)
+
+// TestFleetVersionedRouting pins the fleet behavior of versioned releases
+// published by the ingest tier: "name@vN" keys route through the ring like
+// any other release name, default resolution and ?version= time travel work
+// through the proxy, and a faulted owner fails over with bit-identical
+// answers for every addressing mode.
+func TestFleetVersionedRouting(t *testing.T) {
+	tree1, tree2 := fleetTree(t, 201), fleetTree(t, 202)
+	releases := map[string]*psd.Tree{"taxi@v1": tree1, "taxi@v2": tree2}
+	reps, p, front := newFleet(t, 3, releases)
+
+	want1 := make([]float64, 0, len(sweepRects()))
+	want2 := make([]float64, 0, len(sweepRects()))
+	for _, q := range sweepRects() {
+		want1 = append(want1, tree1.Count(q))
+		want2 = append(want2, tree2.Count(q))
+	}
+
+	// Default resolution through the proxy: the bare base name serves the
+	// latest version. The versioned keys answer directly too.
+	sweep(t, front.URL, "taxi", want2)
+	sweep(t, front.URL, "taxi@v1", want1)
+	sweep(t, front.URL, "taxi@v2", want2)
+
+	// Time travel through the proxy: ?version= reaches the replica intact.
+	for i, q := range sweepRects() {
+		var out struct {
+			Release string  `json:"release"`
+			Count   float64 `json:"count"`
+		}
+		fleetGet(t, fmt.Sprintf("%s/v1/releases/taxi/count?version=v1&rect=%g,%g,%g,%g",
+			front.URL, q.Lo.X, q.Lo.Y, q.Hi.X, q.Hi.Y), http.StatusOK, &out)
+		if out.Release != "taxi@v1" || out.Count != want1[i] {
+			t.Fatalf("time travel rect %d: %+v, want taxi@v1=%v", i, out, want1[i])
+		}
+	}
+
+	// The versions listing is read traffic and proxies like any GET.
+	var vlist struct {
+		Versions []struct {
+			Version int  `json:"version"`
+			Active  bool `json:"active"`
+		} `json:"versions"`
+	}
+	fleetGet(t, front.URL+"/v1/releases/taxi/versions", http.StatusOK, &vlist)
+	if len(vlist.Versions) != 2 || !vlist.Versions[1].Active {
+		t.Fatalf("versions through the proxy = %+v", vlist.Versions)
+	}
+
+	// Promote is a mutation: the proxy must refuse it, not spray it at one
+	// arbitrary replica (a pin applied to a single backend would make
+	// default resolution differ per replica — exactly the split brain the
+	// read-only proxy exists to prevent).
+	resp, err := http.Post(front.URL+"/v1/releases/taxi/promote?version=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("promote through the proxy: status %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+
+	// Kill the owner of the bare key: every addressing mode keeps answering
+	// bit-identically. Note "taxi", "taxi@v1" and "taxi@v2" hash to
+	// different ring owners — each failover is its own route.
+	replicaFor(t, reps, p.Ring().Owner("taxi")).srv.Close()
+	sweep(t, front.URL, "taxi", want2)
+	sweep(t, front.URL, "taxi@v1", want1)
+	sweep(t, front.URL, "taxi@v2", want2)
+	if st := p.Stats(); st.NoReplica503 != 0 {
+		t.Fatalf("%d proxy-originated 503s with two replicas still up, want 0", st.NoReplica503)
+	}
+}

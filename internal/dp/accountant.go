@@ -10,10 +10,23 @@ import (
 // accountant per root-to-leaf path class: in a partition tree only releases
 // along the same path compose (Section 3.3), so the accountant models the
 // per-path spend, which is identical for all paths in a complete tree.
+//
+// The spend is accumulated with Neumaier compensated summation: a
+// continual-observation deployment charges one epoch per published version,
+// and over many thousands of small charges a naive float64 running sum
+// drifts by far more than an ulp — enough to falsely refuse a final charge
+// that sums to exactly the budget, or (with a loose tolerance papering over
+// the drift) to quietly admit real overspend. Compensation keeps the
+// recorded total correctly rounded, so the admission check can be tight: a
+// charge is refused iff it pushes the true total more than one ulp past the
+// budget.
 type Accountant struct {
 	budget float64
-	spent  float64
-	items  []Charge
+	// spent + comp is the Neumaier-compensated running total: spent carries
+	// the naive sum, comp the rounding error each addition discarded.
+	spent float64
+	comp  float64
+	items []Charge
 }
 
 // Charge records a single composed release.
@@ -28,29 +41,56 @@ func NewAccountant(budget float64) *Accountant {
 	return &Accountant{budget: budget}
 }
 
+// neumaierAdd adds x to the compensated pair (sum, comp), returning the new
+// pair. The invariant is sum+comp == the exact running total up to one
+// final rounding.
+func neumaierAdd(sum, comp, x float64) (float64, float64) {
+	t := sum + x
+	if math.Abs(sum) >= math.Abs(x) {
+		comp += (sum - t) + x
+	} else {
+		comp += (x - t) + sum
+	}
+	return t, comp
+}
+
 // Charge records an eps-DP release with a human-readable label. It returns
-// an error — and records nothing — if the charge would exceed the budget
-// beyond a small floating-point tolerance.
+// an error — and records nothing — if the charge would push the total spend
+// beyond the budget by more than one ulp (the compensated total is
+// correctly rounded, so a set of charges that sums to exactly the budget is
+// always admitted in full, while anything beyond representational rounding
+// is refused).
 func (a *Accountant) Charge(label string, eps float64) error {
-	if eps < 0 {
-		return fmt.Errorf("dp: negative charge %v (%s)", eps, label)
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("dp: invalid charge %v (%s)", eps, label)
 	}
-	const tol = 1e-9
-	if a.spent+eps > a.budget*(1+tol)+tol {
+	sum, comp := neumaierAdd(a.spent, a.comp, eps)
+	if total := sum + comp; total > math.Nextafter(a.budget, math.Inf(1)) {
 		return fmt.Errorf("dp: budget exceeded: spent %v + charge %v (%s) > budget %v",
-			a.spent, eps, label, a.budget)
+			a.Spent(), eps, label, a.budget)
 	}
-	a.spent += eps
+	a.spent, a.comp = sum, comp
 	a.items = append(a.items, Charge{Label: label, Eps: eps})
 	return nil
 }
 
-// Spent returns the total ε consumed so far.
-func (a *Accountant) Spent() float64 { return a.spent }
+// CanCharge reports whether Charge(·, eps) would be admitted, recording
+// nothing either way.
+func (a *Accountant) CanCharge(eps float64) bool {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return false
+	}
+	sum, comp := neumaierAdd(a.spent, a.comp, eps)
+	return sum+comp <= math.Nextafter(a.budget, math.Inf(1))
+}
+
+// Spent returns the total ε consumed so far (compensated, so it equals the
+// exact sum of the recorded charges up to one rounding).
+func (a *Accountant) Spent() float64 { return a.spent + a.comp }
 
 // Remaining returns the unspent budget (never negative).
 func (a *Accountant) Remaining() float64 {
-	return math.Max(0, a.budget-a.spent)
+	return math.Max(0, a.budget-a.Spent())
 }
 
 // Budget returns the configured total budget.

@@ -1,0 +1,62 @@
+package ingest
+
+import (
+	"testing"
+)
+
+// FuzzDecodeFrames hammers the WAL segment frame decoder with arbitrary
+// bytes. The decoder is the trust boundary of recovery — whatever a crash
+// (or a flipped bit, or an adversarial file) left on disk flows through it —
+// so the invariants are absolute: never panic, never count invalid bytes as
+// valid, and be a fixpoint on its own valid prefix (decoding data[:valid]
+// again yields the same points and a clean boundary — which is exactly what
+// the torn-tail truncation relies on).
+func FuzzDecodeFrames(f *testing.F) {
+	// Seed with well-formed frame sequences and their torn/corrupt variants.
+	var buf []byte
+	buf = encodeFrame(buf, testPoints(1, 0.25))
+	buf = encodeFrame(buf, testPoints(3, 0.5))
+	f.Add(append([]byte(nil), buf...))
+	for _, cut := range []int{1, frameLenBytes, len(buf) / 2, len(buf) - 1} {
+		f.Add(append([]byte(nil), buf[:cut]...))
+	}
+	flipped := append([]byte(nil), buf...)
+	flipped[frameLenBytes+7] ^= 0x80
+	f.Add(flipped)
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	f.Add(huge)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, valid, err := decodeFrames(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid = %d out of range [0, %d]", valid, len(data))
+		}
+		if err == nil && valid != len(data) {
+			t.Fatalf("clean decode stopped early: valid %d of %d", valid, len(data))
+		}
+		if err != nil && valid == len(data) {
+			t.Fatal("decoder consumed everything but still reported a tail error")
+		}
+		// Every decoded point costs at least pointLen bytes of valid frame.
+		if len(pts)*pointLen > valid {
+			t.Fatalf("%d points from %d valid bytes", len(pts), valid)
+		}
+		// Fixpoint: the valid prefix must re-decode to exactly the same
+		// points with no error — recovery truncates to this boundary and
+		// then trusts it.
+		pts2, valid2, err2 := decodeFrames(data[:valid])
+		if err2 != nil || valid2 != valid || len(pts2) != len(pts) {
+			t.Fatalf("valid prefix is not a fixpoint: err=%v valid=%d/%d points=%d/%d",
+				err2, valid2, valid, len(pts2), len(pts))
+		}
+		// Bit-compare (frames may legitimately carry NaN payloads, where ==
+		// would lie).
+		for i := range pts {
+			if float64bits(pts[i].X) != float64bits(pts2[i].X) ||
+				float64bits(pts[i].Y) != float64bits(pts2[i].Y) {
+				t.Fatalf("point %d changed on re-decode: %v vs %v", i, pts[i], pts2[i])
+			}
+		}
+	})
+}

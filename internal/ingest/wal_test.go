@@ -1,0 +1,276 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psd"
+)
+
+// testPoints returns n distinct, finite points.
+func testPoints(n int, salt float64) []psd.Point {
+	pts := make([]psd.Point, n)
+	for i := range pts {
+		pts[i] = psd.Point{X: salt + float64(i)*0.001, Y: salt - float64(i)*0.002}
+	}
+	return pts
+}
+
+func samePoints(t *testing.T, got, want []psd.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, pts, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 0 || w.Count() != 0 {
+		t.Fatalf("fresh WAL not empty: %d points", len(pts))
+	}
+	var all []psd.Point
+	for batch := 0; batch < 5; batch++ {
+		b := testPoints(10+batch, float64(batch))
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, b...)
+	}
+	if err := w.Append(nil); err != nil {
+		t.Fatal("empty append must be a no-op, got", err)
+	}
+	if w.Count() != uint64(len(all)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(all))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	samePoints(t, replayed, all)
+	// And the reopened WAL keeps appending.
+	if err := w2.Append(testPoints(3, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Count() != uint64(len(all)+3) {
+		t.Fatalf("post-reopen Count = %d", w2.Count())
+	}
+}
+
+// TestWALRotation drives the log across several segments and replays them.
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	// ~6 points per segment: header 24 + frame overhead 12 + 16/point.
+	w, _, err := OpenWAL(dir, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []psd.Point
+	for batch := 0; batch < 10; batch++ {
+		b := testPoints(4, float64(batch))
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, b...)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("expected several segments, got %d", w.Segments())
+	}
+	w.Close()
+	w2, replayed, err := OpenWAL(dir, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	samePoints(t, replayed, all)
+	if w2.Segments() != w.Segments() {
+		t.Fatalf("reopen sees %d segments, writer had %d", w2.Segments(), w.Segments())
+	}
+}
+
+// TestWALTornTail cuts the active segment at EVERY byte offset and checks
+// recovery lands on the last complete frame — never more, never a failure.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three single-frame appends: frame boundaries are known.
+	for batch := 0; batch < 3; batch++ {
+		if err := w.Append(testPoints(2, float64(batch))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameLenBytes + 2*pointLen + frameCRCBytes
+	if len(data) != segHeaderLen+3*frame {
+		t.Fatalf("segment is %d bytes, want %d", len(data), segHeaderLen+3*frame)
+	}
+	for cut := segHeaderLen; cut < len(data); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, segName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, pts, err := OpenWAL(cutDir, nil, 0)
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		wantFrames := (cut - segHeaderLen) / frame
+		if len(pts) != wantFrames*2 {
+			t.Fatalf("cut=%d: replayed %d points, want %d", cut, len(pts), wantFrames*2)
+		}
+		// The log must stay appendable after truncating the torn tail.
+		if err := w2.Append(testPoints(1, 7)); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		w2.Close()
+		w3, pts3, err := OpenWAL(cutDir, nil, 0)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if len(pts3) != wantFrames*2+1 {
+			t.Fatalf("cut=%d: second replay %d points, want %d", cut, len(pts3), wantFrames*2+1)
+		}
+		w3.Close()
+	}
+}
+
+// TestWALTailBitFlip corrupts the final frame's payload; recovery must drop
+// exactly that frame.
+func TestWALTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 2; batch++ {
+		if err := w.Append(testPoints(2, float64(batch))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameLenBytes + 2*pointLen + frameCRCBytes
+	data[segHeaderLen+frame+frameLenBytes+3] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, pts, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(pts) != 2 {
+		t.Fatalf("replayed %d points, want the 2 of the intact first frame", len(pts))
+	}
+}
+
+// TestWALMidLogCorruption pins the loud-failure path: corruption in a sealed
+// (non-last) segment means acknowledged data is unreadable, and the open
+// must fail rather than silently drop points.
+func TestWALMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 10; batch++ {
+		if err := w.Append(testPoints(4, float64(batch))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Segments() < 2 {
+		t.Fatalf("need ≥2 segments, got %d", w.Segments())
+	}
+	w.Close()
+	seg1 := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderLen+frameLenBytes+5] ^= 0x01
+	if err := os.WriteFile(seg1, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(dir, nil, 128); err == nil {
+		t.Fatal("mid-log corruption must fail the open")
+	}
+}
+
+// TestWALSegmentGap pins the contiguity check: a missing middle segment is
+// lost acknowledged data and must fail the open.
+func TestWALSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 12; batch++ {
+		if err := w.Append(testPoints(4, float64(batch))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("need ≥3 segments, got %d", w.Segments())
+	}
+	w.Close()
+	if err := os.Remove(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(dir, nil, 128); err == nil {
+		t.Fatal("segment gap must fail the open")
+	}
+}
+
+// TestWALLeftoverTmp pins rotation-crash cleanup: a stray rotation temp file
+// is removed at open and never replayed.
+func TestWALLeftoverTmp(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testPoints(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	tmp := filepath.Join(dir, fmt.Sprintf(".wal-%016d.tmp", uint64(2)))
+	if err := os.WriteFile(tmp, []byte("partial header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, pts, err := OpenWAL(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(pts) != 3 {
+		t.Fatalf("replayed %d points, want 3", len(pts))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover rotation temp file survived recovery")
+	}
+}

@@ -1,10 +1,14 @@
-// Package faultfs is a fault-injecting filesystem for the serving tier's
-// robustness tests. It implements the registry's filesystem seam (serve.FS,
+// Package faultfs is a fault-injecting filesystem for the serving and
+// ingest tiers' robustness tests. It implements the registry's filesystem
+// seam (serve.FS, structurally) and the WAL's write-side seam (ingest.FS,
 // structurally) over the real filesystem, but lets a test script failures
 // per path: failed opens and stats, read errors after N bytes, truncated
-// content served with a clean EOF, and injected delays. Faults can be
-// bounded (fire k times, then heal), which is how transient-versus-permanent
-// classification and retry/backoff behavior are proven deterministically.
+// content served with a clean EOF, write errors after N appended bytes
+// (with the prefix actually reaching the disk — a torn write), failed
+// fsyncs, failed renames, and injected delays. Faults can be bounded (fire
+// k times, then heal), which is how transient-versus-permanent
+// classification, retry/backoff, and WAL self-healing are proven
+// deterministically.
 //
 // The harness also counts opens per path, which is what pins the quarantine
 // contract "never more than one decode attempt per file change": the test
@@ -37,12 +41,24 @@ type Fault struct {
 	// write that was interrupted. The registry must classify this as
 	// permanent corruption, not a retryable I/O error.
 	TruncateAt int
+	// WriteErr, when non-nil, fails appends through OpenAppend after
+	// WriteErrAfter bytes have been accepted. The accepted prefix reaches
+	// the real file — the torn-write shape an ENOSPC or a yanked disk
+	// leaves, which is what the WAL's self-healing truncation must absorb.
+	WriteErr      error
+	WriteErrAfter int
+	// SyncErr fails the file's Sync (fsync). A WAL append whose fsync fails
+	// must not be acknowledged.
+	SyncErr error
+	// RenameErr fails Rename — the commit step of atomicfile-style segment
+	// rotation.
+	RenameErr error
 	// Delay stalls Open and Stat — enough to hold a rescan mid-flight while
 	// a test mutates the directory underneath it.
 	Delay time.Duration
 	// Times bounds how many faulted operations fire before the fault heals
-	// itself (0 means forever). Each failed Open/Stat and each faulted open
-	// of a truncating/erroring file consumes one.
+	// itself (0 means forever). Each failed Open/Stat/Rename and each
+	// faulted open of a truncating/erroring/appending file consumes one.
 	Times int
 }
 
@@ -202,3 +218,104 @@ func (r *faultReader) Read(p []byte) (int, error) {
 }
 
 func (r *faultReader) Close() error { return r.file.Close() }
+
+// appendFaulted reports whether flt would alter an OpenAppend (directly or
+// through the writer it returns).
+func appendFaulted(flt Fault) bool {
+	return flt.OpenErr != nil || flt.WriteErr != nil || flt.SyncErr != nil
+}
+
+// OpenAppend implements the ingest seam: the real file opened for appending
+// (created if absent), filtered through path's write faults.
+func (f *FS) OpenAppend(name string) (io.WriteCloser, error) {
+	f.mu.Lock()
+	f.opens[name]++
+	f.mu.Unlock()
+	flt := f.peek(name)
+	if appendFaulted(flt) {
+		flt = f.take(name)
+	}
+	if flt.Delay > 0 {
+		time.Sleep(flt.Delay)
+	}
+	if flt.OpenErr != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: flt.OpenErr}
+	}
+	file, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{file: file, path: name, fault: flt}, nil
+}
+
+// Rename implements the seam, honoring RenameErr.
+func (f *FS) Rename(oldpath, newpath string) error {
+	flt := f.peek(oldpath)
+	if flt.RenameErr != nil {
+		flt = f.take(oldpath)
+	}
+	if flt.RenameErr != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: flt.RenameErr}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements the seam (never faulted).
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements the seam (never faulted: it is the WAL's self-healing
+// move, and a fault there is just the broken-WAL terminal state a test can
+// reach through WriteErr already).
+func (f *FS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements the seam (never faulted; per-file SyncErr covers the
+// interesting ack-durability surface).
+func (f *FS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// faultWriter appends through a write fault: WriteErr once WriteErrAfter
+// bytes were accepted (the accepted prefix reaches the disk), SyncErr on
+// Sync.
+type faultWriter struct {
+	file     *os.File
+	path     string
+	fault    Fault
+	accepted int
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	if w.fault.WriteErr != nil && w.accepted+len(p) > w.fault.WriteErrAfter {
+		keep := w.fault.WriteErrAfter - w.accepted
+		if keep < 0 {
+			keep = 0
+		}
+		n := 0
+		if keep > 0 {
+			var err error
+			n, err = w.file.Write(p[:keep])
+			w.accepted += n
+			if err != nil {
+				return n, err
+			}
+		}
+		return n, &fs.PathError{Op: "write", Path: w.path, Err: w.fault.WriteErr}
+	}
+	n, err := w.file.Write(p)
+	w.accepted += n
+	return n, err
+}
+
+func (w *faultWriter) Sync() error {
+	if w.fault.SyncErr != nil {
+		return &fs.PathError{Op: "sync", Path: w.path, Err: w.fault.SyncErr}
+	}
+	return w.file.Sync()
+}
+
+func (w *faultWriter) Close() error { return w.file.Close() }

@@ -98,6 +98,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/releases/{name}/batch", a.handleBatch)
 	mux.HandleFunc("GET /v1/releases/{name}/regions", a.handleRegions)
 	mux.HandleFunc("GET /v1/releases/{name}/stats", a.handleStats)
+	mux.HandleFunc("GET /v1/releases/{name}/versions", a.handleVersions)
+	mux.HandleFunc("POST /v1/releases/{name}/promote", a.handlePromote)
 	mux.HandleFunc("POST /v1/reload", a.handleReload)
 	return a.recoverPanics(a.shed(mux))
 }
@@ -127,14 +129,24 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// release resolves the {name} path segment, writing a 404 on a miss.
+// release resolves the {name} path segment — a bare name (served at its
+// pinned or latest version when versioned artifacts exist), an explicit
+// "name@vN", or a bare name plus ?version=vN time travel — writing a 404
+// (or 400 for a malformed version) on a miss.
 func (a *API) release(w http.ResponseWriter, r *http.Request) (*Release, bool) {
 	name := r.PathValue("name")
-	rel, ok := a.Registry.Get(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no release %q", name)
+	version := r.URL.Query().Get("version")
+	rel, err := a.Registry.Resolve(name, version)
+	if err != nil {
+		status := http.StatusNotFound
+		if version != "" && (strings.HasPrefix(err.Error(), "bad version") ||
+			strings.Contains(err.Error(), "already carries a version")) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "%v", err)
+		return nil, false
 	}
-	return rel, ok
+	return rel, true
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -366,6 +378,51 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		"release": rel.Name,
 		"stats":   rel.Stats(),
 	})
+}
+
+// handleVersions lists the registered versions of a base name with the pin
+// and active markers — the time-travel index.
+func (a *API) handleVersions(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	versions := a.Registry.Versions(name)
+	if len(versions) == 0 {
+		writeError(w, http.StatusNotFound, "no versioned releases for %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "versions": versions})
+}
+
+// handlePromote pins a base name to ?version=N (or vN); ?version=0 or
+// ?version=latest unpins, returning the name to latest-wins resolution.
+func (a *API) handlePromote(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec := r.URL.Query().Get("version")
+	if spec == "" {
+		writeError(w, http.StatusBadRequest, "missing ?version=N (0 or \"latest\" to unpin)")
+		return
+	}
+	v := 0
+	if spec != "latest" {
+		var ok bool
+		if v, ok = parseVersionSuffix(spec); !ok {
+			n, err := strconv.Atoi(spec)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad version %q (want N, vN, 0, or \"latest\")", spec)
+				return
+			}
+			v = n
+		}
+	}
+	if err := a.Registry.Promote(name, v); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if v == 0 {
+		a.logf("serve: unpinned %q (latest-wins resolution)", name)
+	} else {
+		a.logf("serve: promoted %q to v%d", name, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "versions": a.Registry.Versions(name)})
 }
 
 // handleManifestGet reports the last applied rollout manifest; 404 until

@@ -50,26 +50,30 @@ func (a *API) Ready() bool { return a.ready.Load() }
 // the fleet-facing view (per-release serving stats live under
 // /v1/releases/{name}/stats).
 type ServerStats struct {
-	Ready       bool   `json:"ready"`
-	Releases    int    `json:"releases"`
-	Quarantined int    `json:"quarantined"`
-	InFlight    int64  `json:"in_flight"`
-	Panics      uint64 `json:"panics"`
-	Sheds       uint64 `json:"sheds"`
-	Timeouts    uint64 `json:"timeouts"`
-	Uptime      string `json:"uptime"`
+	Ready       bool `json:"ready"`
+	Releases    int  `json:"releases"`
+	Quarantined int  `json:"quarantined"`
+	// VersionedBases counts base names served through versioned releases
+	// ("name@vN" families from the streaming ingest tier).
+	VersionedBases int    `json:"versioned_bases"`
+	InFlight       int64  `json:"in_flight"`
+	Panics         uint64 `json:"panics"`
+	Sheds          uint64 `json:"sheds"`
+	Timeouts       uint64 `json:"timeouts"`
+	Uptime         string `json:"uptime"`
 }
 
 func (a *API) serverStats() ServerStats {
 	return ServerStats{
-		Ready:       a.ready.Load(),
-		Releases:    a.Registry.Len(),
-		Quarantined: a.Registry.QuarantineLen(),
-		InFlight:    a.inflight.Load(),
-		Panics:      a.panics.Load(),
-		Sheds:       a.sheds.Load(),
-		Timeouts:    a.timeouts.Load(),
-		Uptime:      time.Since(a.started).Round(time.Millisecond).String(),
+		Ready:          a.ready.Load(),
+		Releases:       a.Registry.Len(),
+		Quarantined:    a.Registry.QuarantineLen(),
+		VersionedBases: len(a.Registry.VersionedBases()),
+		InFlight:       a.inflight.Load(),
+		Panics:         a.panics.Load(),
+		Sheds:          a.sheds.Load(),
+		Timeouts:       a.timeouts.Load(),
+		Uptime:         time.Since(a.started).Round(time.Millisecond).String(),
 	}
 }
 

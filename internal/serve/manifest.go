@@ -65,7 +65,8 @@ func (m *Manifest) Validate() error {
 	}
 	seen := make(map[string]bool, len(m.Releases))
 	for _, e := range m.Releases {
-		if err := validateName(e.Name); err != nil {
+		// Versioned keys ("taxi@v3") roll out exactly like bare names.
+		if err := validateKey(e.Name); err != nil {
 			return err
 		}
 		if seen[e.Name] {
@@ -131,10 +132,14 @@ func (g *Registry) ApplyManifest(m Manifest) error {
 	for name := range g.manifestOwned {
 		if !owned[name] {
 			delete(g.entries, name)
+			if base, v, versioned, err := parseKey(name); err == nil && versioned {
+				g.dropVersionLocked(base, v)
+			}
 		}
 	}
 	for _, rel := range fresh {
 		g.entries[rel.Name] = rel
+		g.noteInstallLocked(rel.Name)
 	}
 	mCopy := m
 	mCopy.Releases = append([]ManifestEntry(nil), m.Releases...)

@@ -30,6 +30,42 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Sample("psdserve_releases", nil, float64(st.Releases))
 	pw.Family("psdserve_quarantined", "gauge", "Number of quarantined watch-dir artifacts.")
 	pw.Sample("psdserve_quarantined", nil, float64(st.Quarantined))
+	if bases := a.Registry.VersionedBases(); len(bases) > 0 {
+		type baseVer struct {
+			base           string
+			count          int
+			latest, active float64
+		}
+		bvs := make([]baseVer, 0, len(bases))
+		for _, b := range bases {
+			bv := baseVer{base: b}
+			for _, v := range a.Registry.Versions(b) {
+				bv.count++
+				if float64(v.Version) > bv.latest {
+					bv.latest = float64(v.Version)
+				}
+				if v.Active {
+					bv.active = float64(v.Version)
+				}
+			}
+			bvs = append(bvs, bv)
+		}
+		baseLabel := func(b string) []promtext.Label {
+			return []promtext.Label{{Name: "base", Value: b}}
+		}
+		pw.Family("psdserve_release_versions", "gauge", "Registered versions per base release name.")
+		for _, bv := range bvs {
+			pw.Sample("psdserve_release_versions", baseLabel(bv.base), float64(bv.count))
+		}
+		pw.Family("psdserve_release_version_latest", "gauge", "Highest registered version per base release name.")
+		for _, bv := range bvs {
+			pw.Sample("psdserve_release_version_latest", baseLabel(bv.base), bv.latest)
+		}
+		pw.Family("psdserve_release_version_active", "gauge", "Version the bare base name resolves to (pinned or latest).")
+		for _, bv := range bvs {
+			pw.Sample("psdserve_release_version_active", baseLabel(bv.base), bv.active)
+		}
+	}
 	pw.Family("psdserve_in_flight", "gauge", "Concurrently served /v1 requests right now.")
 	pw.Sample("psdserve_in_flight", nil, float64(st.InFlight))
 	pw.Family("psdserve_panics_total", "counter", "Handler panics recovered.")

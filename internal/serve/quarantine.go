@@ -50,6 +50,13 @@ const (
 	// errored, so the bytes were never judged. Retried with backoff, up to
 	// maxLoadAttempts.
 	quarantineIO = "io"
+	// quarantineConflict marks a file rejected by NAME, without reading a
+	// byte: a malformed '@' version suffix, or a bare name.bin coexisting
+	// with a versioned name@vN.bin family (ambiguous — which should the
+	// bare name serve?). Unlike corrupt/io records, conflicts are
+	// re-evaluated from the directory listing on every scan and clear
+	// themselves the moment the ambiguity is resolved.
+	quarantineConflict = "conflict"
 )
 
 // QuarantineInfo is the public (and JSON) shape of one quarantined artifact,
@@ -151,6 +158,50 @@ func (g *Registry) noteLoadFailure(name, path string, st fileState, transient bo
 		g.logf("serve: load failed %s (io, attempt %d/%d, next retry in %s): %v",
 			path, attempts, maxLoadAttempts, delay.Round(time.Millisecond), err)
 	}
+}
+
+// noteConflict records a name-level rejection of path (kind "conflict").
+// It is called on every scan while the conflict persists, so it logs only
+// when the conflict is first seen or its reason changes — rescans of a
+// standing conflict are silent, like rescans of an unchanged corrupt file.
+// If the conflicted file had already been loaded under this name in an
+// earlier scan, that live entry is dropped: an ambiguous name must not keep
+// shadowing the versioned family it conflicts with.
+func (g *Registry) noteConflict(name, path, reason string, now time.Time) {
+	g.mu.Lock()
+	qe := g.quarantine[path]
+	fresh := qe == nil || qe.info.Kind != quarantineConflict || qe.info.Reason != reason
+	if qe == nil {
+		qe = &quarantineEntry{info: QuarantineInfo{Name: name, Path: path, FirstSeen: now}}
+		g.quarantine[path] = qe
+	}
+	qe.info.Kind = quarantineConflict
+	qe.info.Reason = reason
+	qe.info.LastTried = now
+	var evicted bool
+	if rel, ok := g.entries[name]; ok && rel.Source == path {
+		delete(g.entries, name)
+		delete(g.files, path)
+		evicted = true
+	}
+	g.mu.Unlock()
+	if fresh {
+		g.logf("serve: quarantined %s (conflict): %s", path, reason)
+	}
+	if evicted {
+		g.logf("serve: unregistered %q: its file is now conflict-quarantined", name)
+	}
+}
+
+// clearConflict wipes a conflict record whose cause is gone, so the file
+// gets a fresh load. Corrupt/io records are left alone — their causes live
+// in the file's bytes, not the directory listing.
+func (g *Registry) clearConflict(path string) {
+	g.mu.Lock()
+	if qe := g.quarantine[path]; qe != nil && qe.info.Kind == quarantineConflict {
+		delete(g.quarantine, path)
+	}
+	g.mu.Unlock()
 }
 
 // pruneQuarantine drops quarantine records of paths no longer present in

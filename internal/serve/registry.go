@@ -232,10 +232,18 @@ type Registry struct {
 	retryBase time.Duration
 	jitter    func(time.Duration) time.Duration
 
+	// keepVersions bounds retained versions per base name (versions.go).
+	keepVersions int
+
 	mu         sync.RWMutex
 	entries    map[string]*Release
 	files      map[string]fileState
 	quarantine map[string]*quarantineEntry
+	// latest/pinned index the versioned entries ("name@vN") per base name:
+	// latest is the highest registered version, pinned an operator override
+	// of default resolution (versions.go).
+	latest map[string]int
+	pinned map[string]int
 	// manifest is the last applied rollout manifest (manifest.go);
 	// manifestOwned tracks which entries it installed so a later
 	// manifest can remove the ones it no longer names.
@@ -253,6 +261,8 @@ func NewRegistry(cacheSize int) *Registry {
 		entries:    make(map[string]*Release),
 		files:      make(map[string]fileState),
 		quarantine: make(map[string]*quarantineEntry),
+		latest:     make(map[string]int),
+		pinned:     make(map[string]int),
 	}
 }
 
@@ -313,21 +323,29 @@ func (g *Registry) Len() int {
 	return len(g.entries)
 }
 
-// Remove deletes the named release, reporting whether it existed.
+// Remove deletes the release under the given key (bare name or "name@vN"),
+// reporting whether it existed. Removing a versioned entry re-derives the
+// base name's latest version and releases a pin that pointed at it.
 func (g *Registry) Remove(name string) bool {
 	g.mu.Lock()
 	_, ok := g.entries[name]
 	delete(g.entries, name)
+	if ok {
+		if base, v, versioned, err := parseKey(name); err == nil && versioned {
+			g.dropVersionLocked(base, v)
+		}
+	}
 	g.mu.Unlock()
 	return ok
 }
 
-// Register opens a serialized release from r and installs it under name,
-// replacing any previous release of that name in one atomic map swap. The
-// artifact is fully parsed and validated before the swap, so a malformed
-// body can never displace a live release.
+// Register opens a serialized release from r and installs it under name —
+// a bare name or a versioned key like "taxi@v3" — replacing any previous
+// release of that key in one atomic map swap. The artifact is fully parsed
+// and validated before the swap, so a malformed body can never displace a
+// live release.
 func (g *Registry) Register(name, source string, r io.Reader) (*Release, error) {
-	if err := validateName(name); err != nil {
+	if err := validateKey(name); err != nil {
 		return nil, err
 	}
 	cr := &countingReader{r: r}
@@ -346,6 +364,7 @@ func (g *Registry) Register(name, source string, r io.Reader) (*Release, error) 
 	}
 	g.mu.Lock()
 	g.entries[name] = rel
+	g.noteInstallLocked(name)
 	g.mu.Unlock()
 	return rel, nil
 }
@@ -404,7 +423,7 @@ func (g *Registry) loadFile(name, path string) (rel *Release, transient bool, er
 // sequentially, which doubles as a prefault: the first query after a load
 // never stalls on page faults.
 func (g *Registry) loadFileDirect(so slabOpener, name, path string) (*Release, bool, error) {
-	if err := validateName(name); err != nil {
+	if err := validateKey(name); err != nil {
 		return nil, false, err
 	}
 	slab, err := so.OpenSlab(path)
@@ -436,6 +455,7 @@ func (g *Registry) loadFileDirect(so slabOpener, name, path string) (*Release, b
 	// in-flight queries against it finish (Close here would race them).
 	g.mu.Lock()
 	g.entries[name] = rel
+	g.noteInstallLocked(name)
 	g.mu.Unlock()
 	return rel, false, nil
 }
@@ -471,6 +491,31 @@ func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
 	for _, path := range append(bins, jsons...) {
 		byName[strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))] = path
 	}
+	// Classify the stems: versioned keys ("taxi@v3") index their base name;
+	// malformed '@' spellings are rejected up front, by name alone — their
+	// bytes are never read. A bare stem whose base also has versioned files
+	// is ambiguous (which artifact should "taxi" serve?) and is rejected the
+	// same way rather than guessed at.
+	badKey := make(map[string]error)
+	maxVer := make(map[string]int)
+	for stem := range byName {
+		base, v, versioned, err := parseKey(stem)
+		if err != nil {
+			badKey[byName[stem]] = err
+			continue
+		}
+		if versioned && v > maxVer[base] {
+			maxVer[base] = v
+		}
+	}
+	conflict := make(map[string]string)
+	for stem, path := range byName {
+		if !strings.ContainsRune(stem, '@') && maxVer[stem] > 0 {
+			conflict[path] = fmt.Sprintf(
+				"ambiguous release name %q: both %s and a versioned family %s@vN are present; remove one",
+				stem, filepath.Base(path), stem)
+		}
+	}
 	glob := make([]string, 0, len(byName))
 	present := make(map[string]bool, len(byName))
 	for _, path := range byName {
@@ -479,10 +524,33 @@ func (g *Registry) ScanDir(dir string) (loaded, skipped []string, err error) {
 	}
 	sort.Strings(glob)
 	g.pruneQuarantine(present)
+	g.pruneVanishedVersions(dir, present)
 	var errs []string
 	for _, path := range glob {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		now := time.Now()
+		if err, bad := badKey[path]; bad {
+			g.noteConflict(name, path, err.Error(), now)
+			continue
+		}
+		if reason, ok := conflict[path]; ok {
+			g.noteConflict(name, path, reason, now)
+			continue
+		}
+		// A conflict record from an earlier scan whose cause is gone (the
+		// other side of the ambiguity was removed) is wiped so the file gets
+		// a fresh load this very scan.
+		g.clearConflict(path)
+		// Versions below the retention floor are skipped without a read:
+		// reloading them would only re-evict them (churning the version
+		// index) — the ingest tier prunes these artifacts shortly anyway.
+		if g.keepVersions > 0 {
+			if base, v, versioned, err := parseKey(name); err == nil && versioned &&
+				v <= maxVer[base]-g.keepVersions {
+				skipped = append(skipped, name)
+				continue
+			}
+		}
 		info, err := g.fs().Stat(path)
 		if err != nil {
 			// The file was listed but cannot be statted: a transient
