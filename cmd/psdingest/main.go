@@ -345,7 +345,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// A rejected batch is the client's fault (400); a failed append is
 		// the WAL's (500) — and the client must NOT treat it as accepted.
 		status := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "non-finite") {
+		if errors.Is(err, ingest.ErrBadPoint) {
 			status = http.StatusBadRequest
 		}
 		writeError(w, status, "%v", err)

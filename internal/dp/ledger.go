@@ -34,8 +34,17 @@ type Ledger struct {
 	f      *os.File
 	budget float64
 	seq    uint64
+	// off is the durable end of the journal — the offset every successful
+	// append advances and every failed append rolls the file back to, so the
+	// on-disk record sequence never gaps.
+	off    int64
 	accts  map[string]*Accountant
 	labels map[string]map[string]bool
+	// broken, once set, refuses further charges: a failed append could not
+	// be rolled back, so the journal tail is in an unknown state and a
+	// further append could write a gapped or duplicate seq that the next
+	// open would refuse to replay. Reopening recovers.
+	broken error
 }
 
 // LedgerRecord is the JSON shape of one journal line.
@@ -115,6 +124,7 @@ func (l *Ledger) replay() error {
 	if _, err := l.f.Seek(int64(valid), 0); err != nil {
 		return err
 	}
+	l.off = int64(valid)
 	return nil
 }
 
@@ -177,16 +187,46 @@ func (l *Ledger) acct(name string) *Accountant {
 }
 
 // Charge admits an eps-DP publication of name against its budget and makes
-// it durable: the record is appended and fsync'd before Charge returns nil.
-// On a refused charge nothing is recorded. On an append or sync FAILURE the
-// charge stays counted in memory (the bytes may or may not have reached the
-// disk, so the conservative reading is "spent") and the error tells the
-// caller to abort the publication — the invariant either way is that the
-// durable ledger never under-counts the ε of anything published.
+// it durable: the record is appended and fsync'd before Charge returns nil,
+// and only then is the in-memory state (seq, accountant, labels) advanced —
+// so the open ledger never runs ahead of the disk and a later successful
+// charge can never write a gapped seq the next open would refuse to replay.
+// On a refused charge nothing is recorded anywhere. On an append or sync
+// FAILURE the journal tail is rolled back to the pre-call offset (the bytes
+// may or may not have reached the disk; truncating restores a known state),
+// the charge is not counted, and the error tells the caller to abort the
+// publication. If even the rollback fails the ledger latches a broken state
+// that refuses every further charge until a reopen replays the disk — the
+// invariant either way is that the durable ledger never under-counts the ε
+// of anything published.
 func (l *Ledger) Charge(name, label string, eps float64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.acct(name).Charge(label, eps); err != nil {
+	if l.broken != nil {
+		return fmt.Errorf("dp: ledger is offline after an unrecovered append failure (reopen to recover): %w", l.broken)
+	}
+	a := l.acct(name)
+	if !a.CanCharge(eps) {
+		// Refused: Charge on the accountant reports the detailed reason and
+		// records nothing.
+		return a.Charge(label, eps)
+	}
+	rec := LedgerRecord{Seq: l.seq + 1, Name: name, Label: label, Eps: eps, At: time.Now().UTC()}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dp: ledger: encoding record: %w", err)
+	}
+	line := fmt.Sprintf("%s%016x %s\n", ledgerLinePrefix, crc64.Checksum(payload, ledgerCRCTable), payload)
+	if _, err := l.f.WriteString(line); err != nil {
+		return l.rollbackTail(fmt.Errorf("dp: ledger append failed (nothing charged, abort the publication): %w", err))
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.rollbackTail(fmt.Errorf("dp: ledger sync failed (nothing charged, abort the publication): %w", err))
+	}
+	l.off += int64(len(line))
+	l.seq = rec.Seq
+	if err := a.Charge(label, eps); err != nil {
+		// Unreachable: CanCharge admitted the same eps under the same lock.
 		return err
 	}
 	set := l.labels[name]
@@ -195,20 +235,29 @@ func (l *Ledger) Charge(name, label string, eps float64) error {
 		l.labels[name] = set
 	}
 	set[label] = true
-	l.seq++
-	rec := LedgerRecord{Seq: l.seq, Name: name, Label: label, Eps: eps, At: time.Now().UTC()}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("dp: ledger: encoding record: %w", err)
-	}
-	line := fmt.Sprintf("%s%016x %s\n", ledgerLinePrefix, crc64.Checksum(payload, ledgerCRCTable), payload)
-	if _, err := l.f.WriteString(line); err != nil {
-		return fmt.Errorf("dp: ledger append failed (charge held in memory, abort the publication): %w", err)
+	return nil
+}
+
+// rollbackTail restores the journal to the last durable record boundary
+// after a failed append: truncate back to off, make the truncation durable,
+// and reposition the write offset. If any of that fails the tail is in an
+// unknown state and the ledger latches broken — a further append could
+// produce a gapped or duplicate seq, which the next open would (rightly)
+// refuse to replay.
+func (l *Ledger) rollbackTail(cause error) error {
+	if err := l.f.Truncate(l.off); err != nil {
+		l.broken = fmt.Errorf("%w (and tail rollback failed: %v)", cause, err)
+		return l.broken
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("dp: ledger sync failed (charge held in memory, abort the publication): %w", err)
+		l.broken = fmt.Errorf("%w (and tail rollback sync failed: %v)", cause, err)
+		return l.broken
 	}
-	return nil
+	if _, err := l.f.Seek(l.off, 0); err != nil {
+		l.broken = fmt.Errorf("%w (and seek after rollback failed: %v)", cause, err)
+		return l.broken
+	}
+	return cause
 }
 
 // CanCharge reports whether a Charge of eps for name would be admitted,

@@ -192,6 +192,58 @@ func TestLedgerMidFileCorruption(t *testing.T) {
 	}
 }
 
+// TestLedgerAppendFailureLatchesAndRecovers pins the failed-append
+// contract: a Charge whose journal append fails commits nothing in memory —
+// no seq advance, no accountant spend — so the on-disk record sequence can
+// never gap (the old behavior bumped seq first; a later successful charge
+// then wrote a gapped record the next open refused to replay). When even
+// the tail rollback fails the ledger latches broken and refuses further
+// charges until a reopen replays the durable prefix.
+func TestLedgerAppendFailureLatchesAndRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger")
+	l, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge("roads", "roads@v1", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Close the handle out from under the ledger: the append fails, and so
+	// does the rollback truncate — the broken-latch path.
+	l.f.Close()
+	if err := l.Charge("roads", "roads@v2", 1); err == nil {
+		t.Fatal("charge with failed append reported success")
+	}
+	if got := l.Spent("roads"); got != 1 {
+		t.Fatalf("failed charge leaked into memory: Spent = %v, want 1", got)
+	}
+	if err := l.Charge("roads", "roads@v3", 1); err == nil {
+		t.Fatal("broken ledger admitted a further charge")
+	}
+
+	// Reopen: the durable prefix replays, and charging resumes with the
+	// very seq the failed attempt would have used — no gap, no duplicate.
+	l2, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Spent("roads"); got != 1 {
+		t.Fatalf("replayed Spent = %v, want 1", got)
+	}
+	if err := l2.Charge("roads", "roads@v2", 1); err != nil {
+		t.Fatalf("charge after recovery: %v", err)
+	}
+	l2.Close()
+	l3, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatalf("journal left unreplayable by the failure: %v", err)
+	}
+	defer l3.Close()
+	if got := l3.Spent("roads"); got != 2 {
+		t.Fatalf("final Spent = %v, want 2", got)
+	}
+}
+
 // TestLedgerReplayExceedsBudget pins the over-count-safe direction: records
 // already on disk are replayed even past a (now smaller) budget — a durable
 // spend is a fact — and further charges are refused.

@@ -42,6 +42,10 @@ var (
 	// ErrBudgetExhausted: the per-name ε budget cannot fund another epoch.
 	// Ingesting and serving the last release continue; publishing refuses.
 	ErrBudgetExhausted = errors.New("ingest: privacy budget exhausted: refusing to publish a new version")
+	// ErrBadPoint: the batch contains a non-finite coordinate and was
+	// rejected whole before anything reached the WAL — the client's fault
+	// (HTTP 400), unlike an append failure (HTTP 500).
+	ErrBadPoint = errors.New("ingest: batch rejected: non-finite coordinates")
 )
 
 // Config configures an Ingester.
@@ -61,7 +65,9 @@ type Config struct {
 	// kill-recovery proof rests on this) yet draws fresh noise.
 	// Build.Epsilon is ignored; EpochEpsilon funds each version.
 	Build psd.Options
-	// Budget is the total per-name ε the persistent ledger enforces.
+	// Budget is the total per-name ε the persistent ledger enforces. A
+	// non-positive budget means UNLIMITED — every epoch is admitted and
+	// publishing never refuses for budget reasons (spend is still recorded).
 	Budget float64
 	// EpochEpsilon is the ε charged for each published version.
 	EpochEpsilon float64
@@ -91,6 +97,11 @@ type PublishResult struct {
 }
 
 // Stats is a point-in-time snapshot for /stats and /metrics.
+//
+// An unlimited budget (Config.Budget <= 0) reports Budget and Remaining as
+// 0 — the documented "0 = unlimited" wire convention, which also keeps the
+// JSON encodable (the ledger's internal +Inf budget is not). Consumers must
+// read BudgetExhausted, not Remaining, as the refusal signal.
 type Stats struct {
 	Name            string    `json:"name"`
 	Points          uint64    `json:"points"`
@@ -122,6 +133,13 @@ type Ingester struct {
 	cfg Config
 	fs  FS
 	log *log.Logger
+
+	// pubMu serializes whole publish cycles (concurrent POST /publish
+	// requests must not interleave intents). The build and artifact
+	// serialization run under pubMu ONLY — mu is held just for the brief
+	// shared-state reads and writes around them, so /ingest appends and
+	// their durability acks never stall behind a rebuild.
+	pubMu sync.Mutex
 
 	mu      sync.Mutex
 	wal     *WAL
@@ -195,7 +213,14 @@ func openNoRecover(cfg Config) (*Ingester, error) {
 	if err != nil {
 		return nil, err
 	}
-	ledger, err := dp.OpenLedger(filepath.Join(cfg.StateDir, "ledger"), cfg.Budget)
+	// A non-positive configured budget means unlimited. The accountant under
+	// the ledger reads a non-positive budget as "no spending permitted", so
+	// translate here: +Inf admits every finite epoch charge.
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	ledger, err := dp.OpenLedger(filepath.Join(cfg.StateDir, "ledger"), budget)
 	if err != nil {
 		wal.Close()
 		return nil, err
@@ -243,7 +268,7 @@ func (in *Ingester) recover() error {
 		if err := in.fp("recover-charge"); err != nil {
 			return err
 		}
-		if _, err := in.completeVersion(rec); err != nil {
+		if _, err := in.completeVersion(rec, in.points[:rec.Points:rec.Points]); err != nil {
 			return fmt.Errorf("ingest: completing pending v%d: %w", rec.Version, err)
 		}
 		in.recovered++
@@ -262,11 +287,12 @@ func (in *Ingester) fp(step string) error {
 
 // Ingest appends pts to the WAL, acknowledging them (by returning the new
 // total) only after they are durable. Non-finite coordinates are rejected
-// whole-batch before anything is written.
+// whole-batch before anything is written, with an error matching
+// ErrBadPoint under errors.Is.
 func (in *Ingester) Ingest(pts []psd.Point) (uint64, error) {
 	for i, p := range pts {
 		if !finite(p.X) || !finite(p.Y) {
-			return 0, fmt.Errorf("ingest: point %d has non-finite coordinates (%v, %v)", i, p.X, p.Y)
+			return 0, fmt.Errorf("%w: point %d is (%v, %v)", ErrBadPoint, i, p.X, p.Y)
 		}
 	}
 	in.mu.Lock()
@@ -286,25 +312,40 @@ func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 // atomic artifact rename, published record — is what makes a kill at any
 // instant recoverable; see the Journal docs. A refusal (no trigger, no new
 // points, exhausted budget) records nothing anywhere.
+//
+// The cycle runs under pubMu; in.mu is taken only for the trigger check and
+// the final stat updates, so ingestion proceeds while the (potentially
+// seconds-long) build and serialization run. The point snapshot taken at
+// the trigger check is safe to read lock-free: Ingest only ever appends,
+// the snapshot's prefix is immutable, and psd.Build does not modify its
+// input slice.
 func (in *Ingester) Publish(trigger Trigger) (*PublishResult, error) {
+	in.pubMu.Lock()
+	defer in.pubMu.Unlock()
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	if in.wedged != nil {
-		return nil, fmt.Errorf("ingest: publish pipeline wedged by an earlier mid-cycle failure (restart to recover): %w", in.wedged)
+		err := fmt.Errorf("ingest: publish pipeline wedged by an earlier mid-cycle failure (restart to recover): %w", in.wedged)
+		in.mu.Unlock()
+		return nil, err
 	}
 	count := uint64(len(in.points))
 	fresh := count - in.latestPoints
 	if trigger == TriggerCount {
 		if in.cfg.RebuildCount <= 0 || fresh < uint64(in.cfg.RebuildCount) {
+			in.mu.Unlock()
 			return nil, ErrNoTrigger
 		}
 	} else if fresh == 0 {
+		in.mu.Unlock()
 		return nil, ErrNoNewPoints
 	}
 	if !in.ledger.CanCharge(in.cfg.Name, in.cfg.EpochEpsilon) {
 		in.refused++
+		in.mu.Unlock()
 		return nil, ErrBudgetExhausted
 	}
+	pts := in.points[:count:count]
+	in.mu.Unlock()
 
 	v := in.journal.NextVersion()
 	rec := VersionRecord{Version: v, Points: count, Seed: in.cfg.Build.Seed + int64(v), Eps: in.cfg.EpochEpsilon}
@@ -320,7 +361,7 @@ func (in *Ingester) Publish(trigger Trigger) (*PublishResult, error) {
 	if err := in.fp("charge"); err != nil {
 		return nil, in.wedge(err)
 	}
-	res, err := in.completeVersion(rec)
+	res, err := in.completeVersion(rec, pts)
 	if err != nil {
 		return nil, in.wedge(err)
 	}
@@ -329,19 +370,24 @@ func (in *Ingester) Publish(trigger Trigger) (*PublishResult, error) {
 
 // wedge latches a mid-cycle failure.
 func (in *Ingester) wedge(err error) error {
+	in.mu.Lock()
 	in.wedged = err
+	in.mu.Unlock()
 	return err
 }
 
 // completeVersion runs the non-durable-decision half of the publish cycle:
-// deterministic build, atomic artifact publish, published record. Both the
+// deterministic build over the snapshot pts (the first rec.Points
+// acknowledged points), atomic artifact publish, published record. Both the
 // live path and recovery go through it, which is what makes the two
-// byte-identical.
-func (in *Ingester) completeVersion(rec VersionRecord) (*PublishResult, error) {
+// byte-identical. It must be called without in.mu held — the build and
+// serialization are the slow half, and taking mu only for the final stat
+// updates is what keeps ingestion unblocked during them.
+func (in *Ingester) completeVersion(rec VersionRecord, pts []psd.Point) (*PublishResult, error) {
 	opts := in.cfg.Build
 	opts.Seed = rec.Seed
 	opts.Epsilon = rec.Eps
-	tree, err := psd.Build(in.points[:rec.Points], in.cfg.Domain, opts)
+	tree, err := psd.Build(pts, in.cfg.Domain, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: building v%d: %w", rec.Version, err)
 	}
@@ -363,10 +409,12 @@ func (in *Ingester) completeVersion(rec VersionRecord) (*PublishResult, error) {
 	if err := in.journal.Published(rec.Version, crcHex, n); err != nil {
 		return nil, err
 	}
+	in.mu.Lock()
 	in.latestVersion, in.latestPoints = rec.Version, rec.Points
 	in.published++
 	in.lastPublish = time.Now()
-	in.prune()
+	in.mu.Unlock()
+	in.prune(rec.Version)
 	in.log.Printf("ingest: published %s@v%d (%d points, %d bytes, crc64 %s)",
 		in.cfg.Name, rec.Version, rec.Points, n, crcHex)
 	return &PublishResult{
@@ -376,14 +424,15 @@ func (in *Ingester) completeVersion(rec VersionRecord) (*PublishResult, error) {
 }
 
 // prune removes artifacts of published versions older than the retention
-// window. The journal keeps their records (history is cheap; artifacts are
-// not), and a missing artifact is fine — pruning is best-effort.
-func (in *Ingester) prune() {
+// window behind latest. The journal keeps their records (history is cheap;
+// artifacts are not), and a missing artifact is fine — pruning is
+// best-effort.
+func (in *Ingester) prune(latest int) {
 	if in.cfg.Keep <= 0 {
 		return
 	}
 	for _, pub := range in.journal.PublishedVersions() {
-		if pub.Version <= in.latestVersion-in.cfg.Keep {
+		if pub.Version <= latest-in.cfg.Keep {
 			path := in.artifactPath(pub.Version)
 			if err := in.fs.Remove(path); err == nil {
 				in.log.Printf("ingest: pruned %s", path)
@@ -415,6 +464,10 @@ func (in *Ingester) Stats() Stats {
 		LastPublish:   in.lastPublish,
 	}
 	s.BudgetExhausted = !in.ledger.CanCharge(in.cfg.Name, in.cfg.EpochEpsilon)
+	if math.IsInf(s.Budget, 1) {
+		// Unlimited budget: report the 0-means-unlimited convention.
+		s.Budget, s.Remaining = 0, 0
+	}
 	if in.wedged != nil {
 		s.Wedged = in.wedged.Error()
 	}

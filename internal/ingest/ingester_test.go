@@ -1,11 +1,13 @@
 package ingest
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"psd"
 )
@@ -325,8 +327,8 @@ func TestIngesterRejectsNonFinite(t *testing.T) {
 	}
 	defer in.Close()
 	bad := []psd.Point{{X: 0.5, Y: 0.5}, {X: nan(), Y: 0.1}}
-	if _, err := in.Ingest(bad); err == nil {
-		t.Fatal("NaN point accepted")
+	if _, err := in.Ingest(bad); !errors.Is(err, ErrBadPoint) {
+		t.Fatalf("NaN point: got %v, want an ErrBadPoint (the daemon's 400-vs-500 classifier)", err)
 	}
 	if s := in.Stats(); s.Points != 0 {
 		t.Fatalf("partial batch reached the WAL: %d points", s.Points)
@@ -359,8 +361,8 @@ func TestIngesterAbandonOnShrunkBudget(t *testing.T) {
 	}
 	in.Close()
 
-	// Restart with a zero budget: the pending v1 cannot be funded.
-	cfg.Budget = 0
+	// Restart with a budget below one epoch: the pending v1 cannot be funded.
+	cfg.Budget = 0.5
 	in2, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -378,6 +380,86 @@ func TestIngesterAbandonOnShrunkBudget(t *testing.T) {
 	defer in3.Close()
 	if s := in3.Stats(); s.Recovered != 0 {
 		t.Fatalf("abandoned intent re-recovered: %d", s.Recovered)
+	}
+}
+
+// TestIngesterIngestDuringPublish pins the lock-scope contract: the rebuild
+// and artifact serialization run outside the ingest mutex, so /ingest
+// appends (and their durability acks) proceed while a publish is in flight
+// instead of stalling for the full build. The build failpoint fires
+// mid-cycle, after the point snapshot was taken; an Ingest issued there
+// must complete promptly, and the published artifact must cover exactly the
+// snapshot, not the late arrivals.
+func TestIngesterIngestDuringPublish(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	in, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	mustIngest(t, in, testPoints(100, 0.1))
+	in.failpoint = func(s string) error {
+		if s != "build" {
+			return nil
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := in.Ingest(testPoints(5, 0.9))
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("mid-publish ingest failed: %v", err)
+			}
+			return nil
+		case <-time.After(10 * time.Second):
+			return errors.New("mid-publish ingest blocked behind the build")
+		}
+	}
+	res, err := in.Publish(TriggerManual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 100 {
+		t.Fatalf("published %d points, want the 100-point snapshot", res.Points)
+	}
+	if s := in.Stats(); s.Points != 105 || s.PendingPoints != 5 {
+		t.Fatalf("points=%d pending=%d, want 105 and 5", s.Points, s.PendingPoints)
+	}
+}
+
+// TestIngesterUnlimitedBudget pins the daemon's default configuration: a
+// non-positive budget means unlimited — publishing is never refused for
+// budget reasons (the old behavior read 0 as "no spending permitted", so a
+// default-flags daemon could never publish), spend is still recorded, and
+// the stats snapshot stays JSON-encodable (no +Inf leaking out).
+func TestIngesterUnlimitedBudget(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	cfg.Budget = 0
+	in, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	for i := 0; i < 3; i++ {
+		mustIngest(t, in, testPoints(10, float64(i)))
+		if _, err := in.Publish(TriggerManual); err != nil {
+			t.Fatalf("publish %d under an unlimited budget refused: %v", i+1, err)
+		}
+	}
+	s := in.Stats()
+	if s.BudgetExhausted {
+		t.Fatal("unlimited budget reported exhausted")
+	}
+	if s.Budget != 0 || s.Remaining != 0 {
+		t.Fatalf("unlimited budget must report the 0-means-unlimited convention, got budget=%v remaining=%v", s.Budget, s.Remaining)
+	}
+	if s.Spent != 3 {
+		t.Fatalf("Spent = %v, want 3 (charges are still recorded)", s.Spent)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("stats snapshot not JSON-encodable: %v", err)
 	}
 }
 

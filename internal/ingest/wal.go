@@ -85,12 +85,15 @@ type WAL struct {
 func segName(seq uint64) string { return fmt.Sprintf("wal-%016d.seg", seq) }
 
 // OpenWAL opens (creating if needed) the WAL in dir, replaying every
-// acknowledged point. Recovery truncates a torn tail of the last segment
-// (the shape a crash mid-append leaves), removes leftover rotation temp
-// files, and verifies segment contiguity and per-segment first-index
-// cross-checks — corruption anywhere except the tail means acknowledged
-// data is unreadable and fails loudly. fsys nil means the real filesystem;
-// maxSegBytes <= 0 selects DefaultMaxSegmentBytes.
+// acknowledged point. Recovery truncates a torn FRAME tail of the last
+// segment (the shape a crash mid-append leaves), removes leftover rotation
+// temp files, and verifies segment contiguity and per-segment first-index
+// cross-checks — corruption anywhere else, including a damaged or
+// inconsistent header of the last segment (headers are fsync'd before the
+// rename that makes a segment visible, so header damage is never a crash
+// artifact), means acknowledged data is unreadable and fails loudly. fsys
+// nil means the real filesystem; maxSegBytes <= 0 selects
+// DefaultMaxSegmentBytes.
 func OpenWAL(dir string, fsys FS, maxSegBytes int64) (*WAL, []psd.Point, error) {
 	if fsys == nil {
 		fsys = osFS{}
@@ -134,6 +137,15 @@ func OpenWAL(dir string, fsys FS, maxSegBytes int64) (*WAL, []psd.Point, error) 
 		if derr != nil {
 			if !last {
 				return nil, nil, fmt.Errorf("ingest: wal segment %s corrupt mid-log (acknowledged data unreadable): %w", path, derr)
+			}
+			if valid < segHeaderLen {
+				// The header never decoded: a bad magic, a short file, or a
+				// seq/first-index mismatch. Headers are written and fsync'd
+				// before the rename that makes a segment visible, so none of
+				// these is a crash artifact — truncating here would zero the
+				// segment (dropping its header) and silently discard any
+				// acknowledged appends behind the damage. Fail loudly instead.
+				return nil, nil, fmt.Errorf("ingest: wal segment %s has an unreadable or inconsistent header (not a crash artifact; refusing to truncate): %w", path, derr)
 			}
 			// Torn tail of the active segment: truncate back to the last
 			// complete frame. The bytes being dropped were never
@@ -249,7 +261,13 @@ func encodeFrame(buf []byte, pts []psd.Point) []byte {
 }
 
 // createSegment makes segment seq visible with the atomicfile rename
-// discipline and opens it as the active append target.
+// discipline and makes it the active append target. The append handle is
+// opened on the temp file and KEPT across the rename (the handle follows
+// the file, not the name): the rename is the single commit point, so a
+// rotation either fully happens or leaves the old segment active — there is
+// no window where a fresh segment is visible but the writer still appends
+// to the old one, which would desynchronize the new segment's first-index
+// from the stream and strand acknowledged points behind it.
 func (w *WAL) createSegment(seq, firstIndex uint64) error {
 	final := filepath.Join(w.dir, segName(seq))
 	tmp := filepath.Join(w.dir, fmt.Sprintf(".wal-%016d.tmp", seq))
@@ -272,26 +290,19 @@ func (w *WAL) createSegment(seq, firstIndex uint64) error {
 		_ = w.fs.Remove(tmp)
 		return err
 	}
-	if err := tw.Close(); err != nil {
-		_ = w.fs.Remove(tmp)
-		return err
-	}
 	if err := w.fs.Rename(tmp, final); err != nil {
+		tw.Close()
 		_ = w.fs.Remove(tmp)
 		return err
 	}
 	// Make the rename itself durable. Best-effort on filesystems that
 	// refuse directory fsync; the header bytes are already safe.
 	_ = w.fs.SyncDir(w.dir)
-	seg, err := openSync(w.fs, final)
-	if err != nil {
-		return err
-	}
 	if w.seg != nil {
 		w.seg.Close()
 		w.prevBytes += w.segBytes
 	}
-	w.seg, w.segPath, w.segSeq, w.segBytes = seg, final, seq, segHeaderLen
+	w.seg, w.segPath, w.segSeq, w.segBytes = tw, final, seq, segHeaderLen
 	return nil
 }
 

@@ -189,6 +189,93 @@ func TestWALTailBitFlip(t *testing.T) {
 	}
 }
 
+// TestWALLastSegmentHeaderDamageFailsLoudly pins the header half of the
+// recovery contract: a torn FRAME tail of the last segment is truncated
+// away, but a damaged or inconsistent HEADER is never a crash artifact
+// (headers are fsync'd before the rename that makes a segment visible), so
+// truncating would zero the segment and silently discard acknowledged data
+// behind the damage — the open must fail loudly instead.
+func TestWALLastSegmentHeaderDamageFailsLoudly(t *testing.T) {
+	corrupt := map[string]func(data []byte) []byte{
+		"bad magic":            func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"short header":         func(d []byte) []byte { return d[:segHeaderLen-5] },
+		"first-index mismatch": func(d []byte) []byte { d[16] ^= 0x01; return d },
+		"seq mismatch":         func(d []byte) []byte { d[8] ^= 0x01; return d },
+	}
+	for name, mutate := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, _, err := OpenWAL(dir, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Append(testPoints(3, 1)); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			seg := filepath.Join(dir, segName(1))
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutated := mutate(append([]byte(nil), data...))
+			if err := os.WriteFile(seg, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := OpenWAL(dir, nil, 0); err == nil {
+				t.Fatal("header damage on the last segment must fail the open, not truncate it")
+			}
+			// The damaged segment must be left untouched for forensics — in
+			// particular NOT truncated to a headerless stub.
+			after, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(after) != len(mutated) {
+				t.Fatalf("failed open modified the segment: %d bytes, had %d", len(after), len(mutated))
+			}
+		})
+	}
+}
+
+// TestWALRotationSurvivesImmediateCrash pins the rotation commit point: the
+// moment a fresh segment becomes visible it is also the active append
+// target (the handle follows the rename), so a WAL reopened right after a
+// rotation — the on-disk shape of a crash at that instant — replays
+// everything and keeps appending into the new segment.
+func TestWALRotationSurvivesImmediateCrash(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []psd.Point
+	for batch := 0; batch < 3; batch++ {
+		b := testPoints(4, float64(batch))
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, b...)
+	}
+	if w.Segments() < 2 {
+		t.Fatalf("need a rotation, got %d segments", w.Segments())
+	}
+	// "Crash": drop the handle without closing cleanly, then recover.
+	w2, pts, err := OpenWAL(dir, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	samePoints(t, pts, all)
+	if err := w2.Append(testPoints(2, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Count() != uint64(len(all)+2) {
+		t.Fatalf("Count = %d, want %d", w2.Count(), len(all)+2)
+	}
+	w.Close()
+}
+
 // TestWALMidLogCorruption pins the loud-failure path: corruption in a sealed
 // (non-last) segment means acknowledged data is unreadable, and the open
 // must fail rather than silently drop points.
