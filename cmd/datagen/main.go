@@ -74,10 +74,15 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "# %s domain=%v n=%d seed=%d\n", ds.Name, ds.Domain, len(ds.Points), *seed)
 	for _, p := range ds.Points {
 		fmt.Fprintf(w, "%g,%g\n", p.X, p.Y)
+	}
+	// A deferred Flush would drop its error and silently truncate the
+	// dataset when stdout is a nearly-full pipe or disk.
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
 	}
 }
 

@@ -3,12 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+	"io"
 	"runtime"
 	"testing"
 	"time"
 
 	"psd"
+	"psd/internal/atomicfile"
 	"psd/internal/eval"
 	"psd/internal/workload"
 )
@@ -141,7 +142,10 @@ func runBenchJSON(env *eval.Env, scale eval.Scale, outPath string) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+	if _, err := atomicfile.Write(outPath, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("# wrote %s (%d rows)\n", outPath, len(report.Rows))

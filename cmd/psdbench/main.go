@@ -100,7 +100,7 @@ func main() {
 	}
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		f, err := os.Create(*cpuProfile) //lint:allow fsyncdiscipline -- pprof profiles are throwaway diagnostics, not durable artifacts; pprof needs the live handle
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psdbench:", err)
 			os.Exit(1)
@@ -118,7 +118,7 @@ func main() {
 	}
 	memErr := error(nil)
 	if *memProfile != "" {
-		f, merr := os.Create(*memProfile)
+		f, merr := os.Create(*memProfile) //lint:allow fsyncdiscipline -- pprof profiles are throwaway diagnostics, not durable artifacts; pprof needs the live handle
 		if merr == nil {
 			runtime.GC() // settle the heap so the profile shows live data
 			merr = pprof.WriteHeapProfile(f)

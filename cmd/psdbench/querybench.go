@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"psd"
+	"psd/internal/atomicfile"
 	"psd/internal/eval"
 	"psd/internal/serve"
 	"psd/internal/workload"
@@ -443,7 +444,10 @@ func runQueryBench(env *eval.Env, scale eval.Scale, testdataDir, outPath string)
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+	if _, err := atomicfile.Write(outPath, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("# wrote %s (%d rows)\n", outPath, len(report.Rows))
@@ -477,17 +481,12 @@ func slabCountAll(s *psd.Slab, qs []psd.Rect, workers int) []float64 {
 	return s.CountAll(qs)
 }
 
-// writeToFile streams write into a fresh file at path.
+// writeToFile streams write into a fresh file at path, through the
+// fsync-before-rename seam so a crashed bench never leaves a torn artifact
+// for a later comparison run to mis-measure.
 func writeToFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	_, err := atomicfile.Write(path, write)
+	return err
 }
 
 func fileSize(path string) int64 {

@@ -9,7 +9,6 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,6 +16,7 @@ import (
 	"time"
 
 	"psd"
+	"psd/internal/atomicfile"
 	"psd/internal/cluster"
 	"psd/internal/eval"
 	"psd/internal/serve"
@@ -222,7 +222,10 @@ func runServeBench(env *eval.Env, scale eval.Scale, outPath string) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+	if _, err := atomicfile.Write(outPath, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("# wrote %s (%d rows)\n", outPath, len(report.Rows))

@@ -169,7 +169,13 @@ func run(args []string, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
-	defer in.Close()
+	defer func() {
+		// Close aggregates WAL/ledger/journal close errors; at shutdown
+		// they are worth a log line even though the data is already synced.
+		if cerr := in.Close(); cerr != nil {
+			logger.Printf("close: %v", cerr)
+		}
+	}()
 	st := in.Stats()
 	logger.Printf("opened %q: %d points replayed, latest v%d, ε %g/%g spent",
 		st.Name, st.Points, st.LatestVersion, st.Spent, st.Budget)
@@ -253,7 +259,11 @@ func runVerify(args []string, logger *log.Logger, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer in.Close()
+	defer func() {
+		if cerr := in.Close(); cerr != nil {
+			logger.Printf("close: %v", cerr)
+		}
+	}()
 	checks, err := in.Verify()
 	if err != nil {
 		return err

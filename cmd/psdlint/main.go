@@ -1,0 +1,67 @@
+// Command psdlint is the project's static-analysis gate: a multichecker of
+// custom analyzers that mechanically enforce the invariants the paper's
+// guarantees rest on — determinism of release bytes, fsync discipline on
+// durable artifacts, confinement of unsafe to the audited mmap seam, checked
+// Close/Sync errors on durable writers, and cancellation polling in
+// traversals.
+//
+// Two modes:
+//
+//	psdlint ./...                          # standalone, from the module root
+//	go vet -vettool=$(which psdlint) ./... # as a vet tool (cmd/go protocol)
+//
+// Both exit nonzero on findings. Exceptions are per-line and must be
+// justified: //lint:allow <analyzer> -- <why>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"psd/internal/analysis"
+	"psd/internal/analysis/closecheck"
+	"psd/internal/analysis/ctxpoll"
+	"psd/internal/analysis/determinism"
+	"psd/internal/analysis/fsyncdiscipline"
+	"psd/internal/analysis/unsafeconfine"
+)
+
+var analyzers = []*analysis.Analyzer{
+	closecheck.Analyzer,
+	ctxpoll.Analyzer,
+	determinism.Analyzer,
+	fsyncdiscipline.Analyzer,
+	unsafeconfine.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if analysis.IsVetInvocation(args) {
+		analysis.VetMain("psdlint", args, analyzers)
+		return
+	}
+
+	fs := flag.NewFlagSet("psdlint", flag.ExitOnError)
+	dir := fs.String("C", ".", "run as if started in this directory (module root)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: psdlint [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nSilence a justified exception with: //lint:allow <analyzer> -- <why>\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	n, err := analysis.RunStandalone(*dir, fs.Args(), analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdlint: %v\n", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "psdlint: %d finding(s)\n", n)
+		os.Exit(2)
+	}
+}

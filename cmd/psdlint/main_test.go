@@ -1,0 +1,136 @@
+package main
+
+// Integration tests that drive the real binary through both of its modes:
+// standalone (psdlint ./...) and the cmd/go vettool protocol
+// (go vet -vettool=psdlint ./...). The fixture module lives under a temp
+// dir with its own go.mod, so the test exercises the same export-data
+// loading path CI uses, against a module that is NOT psd — proving the
+// path-independent analyzers (unsafeconfine) still bite.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the psdlint binary once per test process.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "psdlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build psdlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a tiny module in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyMod = `module example.com/dirty
+
+go 1.21
+`
+
+// dirtySrc trips unsafeconfine: an unsafe import outside the audited seam.
+const dirtySrc = `package dirty
+
+import "unsafe"
+
+func Alias(b []byte) *byte {
+	return (*byte)(unsafe.Pointer(&b[0]))
+}
+`
+
+const cleanMod = `module example.com/clean
+
+go 1.21
+`
+
+const cleanSrc = `package clean
+
+func Add(a, b int) int { return a + b }
+`
+
+func TestStandaloneFindsViolation(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{"go.mod": dirtyMod, "dirty.go": dirtySrc})
+
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unsafeconfine") {
+		t.Errorf("output does not name the analyzer:\n%s", out)
+	}
+}
+
+func TestStandaloneCleanModule(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{"go.mod": cleanMod, "clean.go": cleanSrc})
+
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("want exit 0 on a clean module, got %v\n%s", err, out)
+	}
+}
+
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildLint(t)
+
+	t.Run("dirty", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"go.mod": dirtyMod, "dirty.go": dirtySrc})
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("go vet should fail on the dirty module\n%s", out)
+		}
+		if !strings.Contains(string(out), "outside the audited mmap seam") {
+			t.Errorf("vet output missing the unsafeconfine diagnostic:\n%s", out)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"go.mod": cleanMod, "clean.go": cleanSrc})
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet on a clean module: %v\n%s", err, out)
+		}
+	})
+}
+
+func TestVersionHandshake(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	// cmd/go parses this line strictly: name, "version", semver-ish, and for
+	// devel builds a trailing buildID=… field used as the cache key.
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) < 3 || fields[1] != "version" {
+		t.Fatalf("malformed -V=full line: %q", out)
+	}
+	if strings.Contains(fields[2], "devel") && !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("devel version line missing buildID field: %q", out)
+	}
+}

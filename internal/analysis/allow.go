@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch. A finding that is a deliberate, justified exception is
+// silenced with a directive comment:
+//
+//	//lint:allow <analyzer> -- <justification>
+//
+// either at the end of the offending line or on its own line immediately
+// above it. The justification is mandatory: an allow without a reason is
+// itself a finding, because an unexplained exception is how invariants rot.
+// The directive names exactly one analyzer; silencing two analyzers on one
+// line takes two directives.
+const allowPrefix = "lint:allow"
+
+type allowDirective struct {
+	analyzer string
+	// line is the source line the directive covers: its own line for an
+	// end-of-line comment, the following line for a standalone comment.
+	file string
+	line int
+}
+
+type allowSet struct {
+	directives []allowDirective
+}
+
+func (s *allowSet) covers(analyzer string, pos token.Position) bool {
+	for _, d := range s.directives {
+		if d.analyzer == analyzer && d.file == pos.Filename && d.line == pos.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllows scans every comment in files for allow directives. Malformed
+// directives (no justification, unknown analyzer) are returned as
+// diagnostics under the reserved analyzer name "lintallow".
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (*allowSet, []Diagnostic) {
+	set := &allowSet{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{Analyzer: "lintallow", Pos: fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		// Lines holding any non-comment code: an allow on such a line covers
+		// the line itself; a comment alone on its line covers the next line.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, justification, ok := strings.Cut(rest, "--")
+				name = strings.TrimSpace(name)
+				justification = strings.TrimSpace(justification)
+				if !ok || justification == "" {
+					report(c.Pos(), "lint:allow directive needs a justification: //lint:allow <analyzer> -- <why this exception is sound>")
+					continue
+				}
+				if name == "" || len(strings.Fields(name)) != 1 {
+					report(c.Pos(), "lint:allow directive must name exactly one analyzer")
+					continue
+				}
+				if known != nil && !known[name] {
+					report(c.Pos(), "lint:allow names unknown analyzer %q", name)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				covered := pos.Line
+				if !codeLines[pos.Line] {
+					covered = pos.Line + 1
+				}
+				set.directives = append(set.directives, allowDirective{
+					analyzer: name,
+					file:     pos.Filename,
+					line:     covered,
+				})
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,184 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of the
+// core of golang.org/x/tools/go/analysis, sized for this repository's needs.
+// It exists because psd's invariants — determinism of release bytes, fsync
+// discipline on durable artifacts, confinement of unsafe, checked Close/Sync
+// errors, cancellation polling in traversals — are exactly the kind of rule
+// that should be machine-checked on every change, and the module deliberately
+// has no external dependencies.
+//
+// The shapes mirror go/analysis deliberately: an Analyzer owns a Run function
+// over a Pass holding one type-checked package. Analyzers here are pure
+// (no facts, no flags), which keeps both the standalone runner (cmd/psdlint)
+// and the `go vet -vettool` unit-checker protocol small.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by `psdlint help`.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string // canonical import path, test-variant suffix stripped
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The invariants
+// guarded here are production-code invariants: tests stub clocks, write
+// scratch files directly and ignore Close errors freely.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Filename returns the base filename holding pos (no directory).
+func (p *Pass) Filename(pos token.Pos) string {
+	name := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// BasePkgPath strips the " [pkg.test]" suffix the go tool appends to
+// test-variant package paths, so scope checks see the real import path.
+func BasePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// RunAnalyzers applies each analyzer to pkg, filters diagnostics through the
+// //lint:allow escape hatch, and returns the surviving findings sorted by
+// position. Malformed allow directives are themselves findings.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, out := parseAllows(pkg.Fset, pkg.Files, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			PkgPath:   BasePkgPath(pkg.PkgPath),
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      token.Position{Filename: pkg.PkgPath},
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+			continue
+		}
+		for _, d := range pass.diags {
+			if allows.covers(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// TypeOf is a nil-tolerant Pass.TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// ImportedPkg resolves an identifier that names an imported package (e.g. the
+// `os` in os.Rename) to that package's canonical path, or "".
+func (p *Pass) ImportedPkg(id *ast.Ident) string {
+	o := p.ObjectOf(id)
+	pn, ok := o.(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// IsPkgFunc reports whether call is a direct call of pkgPath.fname (e.g.
+// "os", "Rename").
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath, fname string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fname {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return p.ImportedPkg(id) == pkgPath
+}

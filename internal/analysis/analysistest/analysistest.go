@@ -1,0 +1,232 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live at <analyzer pkg>/testdata/src/<import path>/*.go and are
+// type-checked under exactly that import path, so analyzers that scope their
+// rules by package path (most of psdlint) can be tested both in and out of
+// scope. A fixture line expecting a finding carries a trailing comment:
+//
+//	os.Rename(a, b) // want `bypasses the fsync`
+//
+// The backquoted (or double-quoted) string is a regexp matched against the
+// diagnostic message. Multiple `// want` patterns on one line expect multiple
+// findings. Diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"psd/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// Run loads testdata/src/<pkgpath> relative to the test's working directory,
+// type-checks it as package pkgpath, runs a, and matches diagnostics against
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	pkg, err := check(fset, pkgpath, files)
+	if err != nil {
+		t.Fatalf("fixture %s does not type-check: %v", pkgpath, err)
+	}
+
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+
+	// Collect wants: map file -> line -> patterns.
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		line    int
+		file    string
+		matched bool
+	}
+	var wants []*want
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, raw := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, raw, err)
+					}
+					wants = append(wants, &want{re: re, raw: raw, line: line, file: filename})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitPatterns parses the tail of a want comment: a sequence of backquoted
+// or double-quoted strings.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Find the closing quote, honoring escapes.
+			q, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return append(out, s)
+			}
+			unq, _ := strconv.Unquote(q)
+			out = append(out, unq)
+			s = strings.TrimSpace(s[len(q):])
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+var (
+	exportsMu sync.Mutex
+	exports   = map[string]string{}
+	listed    = map[string]bool{}
+)
+
+// check type-checks fixture files as pkgpath, resolving imports (stdlib and
+// psd module packages alike) through `go list -export` run from the module
+// root. Export data is cached per test process.
+func check(fset *token.FileSet, pkgpath string, files []*ast.File) (*analysis.Package, error) {
+	var need []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p != "unsafe" {
+				need = append(need, p)
+			}
+		}
+	}
+	if err := ensureExports(need); err != nil {
+		return nil, err
+	}
+	exportsMu.Lock()
+	snapshot := make(map[string]string, len(exports))
+	for k, v := range exports {
+		snapshot[k] = v
+	}
+	exportsMu.Unlock()
+	return analysis.CheckFixture(fset, pkgpath, files, snapshot)
+}
+
+// ensureExports populates the export-data map for paths (and their deps).
+func ensureExports(paths []string) error {
+	exportsMu.Lock()
+	defer exportsMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if !listed[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	m, err := analysis.ListExports(root, missing)
+	if err != nil {
+		return err
+	}
+	for k, v := range m {
+		exports[k] = v
+	}
+	for _, p := range missing {
+		listed[p] = true
+	}
+	return nil
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,206 @@
+// Package closecheck flags discarded error returns from Close, Sync and
+// Flush on writable files and writers. On a durable path these are not
+// cleanup niceties: the OS may defer a write failure all the way to close(2)
+// or fsync(2), so an ignored error there is a silent durability hole — the
+// WAL, ledger and journal writers acknowledge data on exactly these calls.
+//
+// The rule: a statement-position call (bare, defer, or go) of
+// Close()/Sync()/Flush() returning error is a finding when the receiver is
+//
+//   - an *os.File that this function provably opened for writing
+//     (os.Create, os.CreateTemp, or os.OpenFile with O_WRONLY/O_RDWR/
+//     O_APPEND) — read-only handles are exempt, their close cannot lose data;
+//   - a type declared in this module that can write (has a Write method or a
+//     writer-ish name: Writer/WAL/Ledger/Journal/Ingester);
+//   - any other value whose method set includes Write (io.WriteCloser,
+//     bufio.Writer, compress writers, net.Conn, ...).
+//
+// An error-path close where the original error must win is made explicit
+// with `_ = f.Close()` — the discard is then a visible decision, which is
+// the point. Exceptional cases carry //lint:allow closecheck -- <why>.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"psd/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "unchecked error from Close/Sync/Flush on a writable file or writer: write failures can surface only at close/fsync, so discarding them is a silent durability hole",
+	Run:  run,
+}
+
+var targetMethods = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+var writerishName = regexp.MustCompile(`(?i)(writer|wal\b|ledger|journal|ingest)`)
+
+func run(pass *analysis.Pass) error {
+	writable := writableFileVars(pass)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !targetMethods[sel.Sel.Name] || len(call.Args) != 0 {
+				return true
+			}
+			sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+			if !ok || sig.Results().Len() != 1 || sig.Results().At(0).Type().String() != "error" {
+				return true
+			}
+			recvT := pass.TypeOf(sel.X)
+			if recvT == nil {
+				return true
+			}
+			why := classify(pass, sel.X, recvT, writable)
+			if why == "" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error from %s.%s is discarded on %s; write failures can surface only here — check it, discard explicitly with `_ =`, or justify with //lint:allow closecheck -- <why>",
+				exprString(sel.X), sel.Sel.Name, why)
+			return true
+		})
+	}
+	return nil
+}
+
+// classify decides whether the receiver is a writable target, returning a
+// short description (or "" to skip).
+func classify(pass *analysis.Pass, recv ast.Expr, t types.Type, writable map[types.Object]bool) string {
+	deref := t
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		deref = p.Elem()
+	}
+	if named, ok := deref.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+			// Only files this function provably opened for writing.
+			if id, ok := recv.(*ast.Ident); ok {
+				if o := pass.ObjectOf(id); o != nil && writable[o] {
+					return "a write-opened *os.File"
+				}
+			}
+			return ""
+		}
+		if obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), "psd") {
+			if writerishName.MatchString(obj.Name()) || hasWrite(t) {
+				return "writer " + obj.Name()
+			}
+			return ""
+		}
+	}
+	if hasWrite(t) {
+		return "a writable " + t.String()
+	}
+	return ""
+}
+
+// hasWrite reports whether t's method set (or its pointer's) includes Write.
+func hasWrite(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Write" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writableFileVars walks the package for local variables bound to a
+// write-mode file open, keyed by their object.
+func writableFileVars(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isWritableOpen(pass, call) {
+			return
+		}
+		if o := pass.ObjectOf(id); o != nil {
+			out[o] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+					record(n.Lhs[0], n.Rhs[0])
+				} else if len(n.Rhs) == len(n.Lhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) == 1 && len(n.Names) >= 1 {
+					record(ast.Expr(n.Names[0]), n.Values[0])
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isWritableOpen recognizes os.Create, os.CreateTemp, and os.OpenFile whose
+// flag expression mentions a write mode.
+func isWritableOpen(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pass.IsPkgFunc(call, "os", "Create") || pass.IsPkgFunc(call, "os", "CreateTemp") {
+		return true
+	}
+	if !pass.IsPkgFunc(call, "os", "OpenFile") || len(call.Args) < 2 {
+		return false
+	}
+	writable := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		name := ""
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		case *ast.Ident:
+			name = n.Name
+		}
+		switch name {
+		case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE":
+			writable = true
+		}
+		return true
+	})
+	return writable
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	default:
+		return "receiver"
+	}
+}

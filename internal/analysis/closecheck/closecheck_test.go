@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"psd/internal/analysis/analysistest"
+	"psd/internal/analysis/closecheck"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, closecheck.Analyzer, "psd/internal/ingest")
+}

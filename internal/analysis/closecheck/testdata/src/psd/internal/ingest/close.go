@@ -1,0 +1,77 @@
+package ingest
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// WAL is a module-declared writer: every discarded Close/Sync error on it is
+// a durability hole.
+type WAL struct{ f *os.File }
+
+func (w *WAL) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w *WAL) Sync() error                 { return w.f.Sync() }
+func (w *WAL) Close() error                { return w.f.Close() }
+
+func dropWriterClose(w *WAL) {
+	w.Close() // want `error from w\.Close is discarded`
+}
+
+func dropWriterSync(w *WAL) {
+	w.Sync() // want `error from w\.Sync is discarded`
+}
+
+func checkedClose(w *WAL) error {
+	return w.Close()
+}
+
+func explicitDiscard(w *WAL) {
+	_ = w.Close() // a visible decision: allowed
+}
+
+func justifiedDiscard(w *WAL) {
+	w.Close() //lint:allow closecheck -- error path, the original error wins
+}
+
+func writtenFile(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(data)
+	f.Close() // want `error from f\.Close is discarded on a write-opened \*os\.File`
+}
+
+func deferredWrittenFile(path string) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close() // want `error from f\.Close is discarded`
+	f.WriteString("x")
+}
+
+func readOnlyFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // read-only close cannot lose data: allowed
+	buf := make([]byte, 8)
+	f.Read(buf)
+}
+
+func bufferedFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("x")
+	bw.Flush() // want `error from bw\.Flush is discarded`
+}
+
+func writeCloserIface(wc io.WriteCloser) {
+	wc.Close() // want `error from wc\.Close is discarded on a writable io\.WriteCloser`
+}
+
+func readCloserIface(rc io.ReadCloser) {
+	rc.Close() // a reader's close loses nothing: allowed
+}

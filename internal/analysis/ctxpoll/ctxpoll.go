@@ -1,0 +1,230 @@
+// Package ctxpoll structurally enforces the serving tier's deadline contract
+// (the cancellation design in internal/core/cancel.go): a traversal that can
+// visit an unbounded number of slab nodes must poll its cancellation token at
+// bounded checkpoints, or a replica cannot abandon a request whose deadline
+// fired and ties up a core a within-deadline request could have used. Timeout
+// tests catch this only probabilistically; the structure is checkable.
+//
+// In psd/internal/core, any function that is handed a cancellation token —
+// a *cancelToken parameter, or a parameter whose struct carries one (the
+// batch scratch) — must consume it: call tick/poll on it, or pass it (or its
+// carrier) onward to a token-aware callee. Additionally, worklist-style
+// loops (`for len(stk) > 0`, `for { ... }`) inside such functions must
+// tick-or-delegate inside the loop body itself, because one such loop is an
+// entire traversal. Exported *Ctx entry points must touch their context
+// (ctx.Err/ctx.Done or forwarding). Functions whose polling budget is
+// pre-paid by their caller document that with //lint:allow ctxpoll -- <why>.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"psd/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "token-carrying traversal functions in internal/core must poll the cancellation token (tick/poll) or delegate to a token-aware callee; worklist loops must poll inside the loop",
+	Run:  run,
+}
+
+const scopePkg = "psd/internal/core"
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath != scopePkg {
+		return nil
+	}
+	tokObj := pass.Pkg.Scope().Lookup("cancelToken")
+	var tokType types.Type
+	if tn, ok := tokObj.(*types.TypeName); ok {
+		tokType = tn.Type()
+	}
+
+	c := &checker{pass: pass, tok: tokType}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	tok  types.Type
+}
+
+// isToken reports whether t is *cancelToken (or cancelToken).
+func (c *checker) isToken(t types.Type) bool {
+	if c.tok == nil || t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, c.tok)
+}
+
+// isCarrier reports whether t is tokenish: the token itself, or a struct
+// (possibly behind a pointer) with a direct field of token type.
+func (c *checker) isCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if c.isToken(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if c.isToken(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	// Methods of the token itself ARE the polling mechanism.
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && c.isToken(c.pass.TypeOf(fd.Recv.List[0].Type)) {
+		return
+	}
+
+	carries := false
+	fields := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, p := range fl.List {
+			if c.isCarrier(c.pass.TypeOf(p.Type)) {
+				carries = true
+			}
+		}
+	}
+
+	if carries {
+		c.checkTokenFunc(fd)
+	}
+	if fd.Name.IsExported() {
+		c.checkCtxEntry(fd)
+	}
+}
+
+// checkTokenFunc enforces the consume rules on a token-carrying function.
+func (c *checker) checkTokenFunc(fd *ast.FuncDecl) {
+	hasLoop := false
+	walkSameFunc(fd.Body, func(n ast.Node) {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		}
+	})
+	if !hasLoop {
+		return
+	}
+	if !c.consumes(fd.Body) {
+		c.pass.Reportf(fd.Pos(), "%s carries a cancellation token through a loop but never polls it (tick/poll) nor passes it to a callee; a traversal here can overrun its deadline by unbounded work (cancel.go contract) — poll it, or document the pre-paid budget with //lint:allow ctxpoll -- <why>", fd.Name.Name)
+		return
+	}
+	// Worklist loops are whole traversals: the poll must be inside.
+	walkSameFunc(fd.Body, func(n ast.Node) {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok {
+			return
+		}
+		worklist := fs.Init == nil && fs.Post == nil // `for cond {}` or `for {}`
+		if !worklist {
+			return
+		}
+		if !c.consumes(fs.Body) {
+			c.pass.Reportf(fs.Pos(), "worklist loop in token-carrying %s never polls the cancellation token inside the loop; each iteration must stay within the bounded-checkpoint contract (cancel.go)", fd.Name.Name)
+		}
+	})
+}
+
+// consumes reports whether body contains a tick/poll call on the token or a
+// call receiving a tokenish value (argument or method receiver), ignoring
+// nested function literals.
+func (c *checker) consumes(body ast.Node) bool {
+	found := false
+	walkSameFunc(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "tick" || sel.Sel.Name == "poll") && c.isToken(c.pass.TypeOf(sel.X)) {
+				found = true
+				return
+			}
+			if c.isCarrier(c.pass.TypeOf(sel.X)) {
+				found = true
+				return
+			}
+		}
+		for _, arg := range call.Args {
+			if c.isCarrier(c.pass.TypeOf(arg)) {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// checkCtxEntry: an exported …Ctx entry point taking a context must consult
+// it — ctx.Err()/ctx.Done(), or forwarding ctx to a callee.
+func (c *checker) checkCtxEntry(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if len(name) < 3 || name[len(name)-3:] != "Ctx" {
+		return
+	}
+	var ctxObj types.Object
+	for _, p := range fd.Type.Params.List {
+		t := c.pass.TypeOf(p.Type)
+		if t != nil && t.String() == "context.Context" && len(p.Names) > 0 {
+			ctxObj = c.pass.ObjectOf(p.Names[0])
+		}
+	}
+	if ctxObj == nil {
+		return
+	}
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.ObjectOf(id) == ctxObj {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		c.pass.Reportf(fd.Pos(), "exported %s accepts a context it never consults; the deadline contract requires checking ctx or threading it into the traversal", name)
+	}
+}
+
+// walkSameFunc visits body without descending into nested function literals,
+// which are analyzed as their own scopes.
+func walkSameFunc(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

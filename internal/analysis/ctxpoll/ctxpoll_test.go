@@ -1,0 +1,16 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"psd/internal/analysis/analysistest"
+	"psd/internal/analysis/ctxpoll"
+)
+
+func TestCoreScope(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "psd/internal/core")
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "psd/internal/tree")
+}

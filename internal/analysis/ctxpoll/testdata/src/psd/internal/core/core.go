@@ -1,0 +1,107 @@
+package core
+
+import "context"
+
+// cancelToken mirrors the real core token: traversals pay for node visits
+// with tick() and poll() at bounded checkpoints.
+type cancelToken struct {
+	remain int
+	fired  bool
+}
+
+func (t *cancelToken) tick(n int) bool { t.remain -= n; return t.fired }
+func (t *cancelToken) poll() bool      { return t.fired }
+
+// batchScratch carries a token, so anything handed the scratch is handed
+// the cancellation obligation too.
+type batchScratch struct {
+	tok   *cancelToken
+	stack []int
+}
+
+func goodWorklist(tok *cancelToken, roots []int) {
+	stk := append([]int(nil), roots...)
+	for len(stk) > 0 {
+		stk = stk[:len(stk)-1]
+		if tok.tick(1) {
+			return
+		}
+	}
+}
+
+func badRange(tok *cancelToken, xs []int) int { // want `badRange carries a cancellation token through a loop but never polls it`
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func badWorklist(tok *cancelToken, roots []int) {
+	tok.poll() // a poll before the loop does not bound the loop itself
+	stk := roots
+	for len(stk) > 0 { // want `worklist loop in token-carrying badWorklist never polls the cancellation token inside the loop`
+		stk = stk[:len(stk)-1]
+	}
+}
+
+func delegates(tok *cancelToken, roots []int) {
+	stk := roots
+	for len(stk) > 0 {
+		stk = stk[:len(stk)-1]
+		visit(tok, stk)
+	}
+}
+
+// visit is loop-free: the obligation stays with its looping caller.
+func visit(tok *cancelToken, stk []int) {
+	tok.poll()
+}
+
+func carrierWalk(s *batchScratch) {
+	for len(s.stack) > 0 {
+		s.stack = s.stack[:len(s.stack)-1]
+		if s.tok.tick(1) {
+			return
+		}
+	}
+}
+
+func (s *batchScratch) drain() {
+	for len(s.stack) > 0 {
+		s.stack = s.stack[:len(s.stack)-1]
+		s.tok.tick(1)
+	}
+}
+
+func (s *batchScratch) badDrain() { // want `badDrain carries a cancellation token through a loop but never polls it`
+	for len(s.stack) > 0 {
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+}
+
+//lint:allow ctxpoll -- visits are pre-paid by the caller's bulk tick
+func prepaid(tok *cancelToken, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func BadCtx(ctx context.Context, xs []int) int { // want `exported BadCtx accepts a context it never consults`
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func GoodCtx(ctx context.Context, xs []int) error {
+	for range xs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package tree
+
+// Outside psd/internal/core the cancel.go contract does not apply: an
+// identically-shaped token and loop draw no findings here.
+type cancelToken struct{ fired bool }
+
+func (t *cancelToken) poll() bool { return t.fired }
+
+func unpolledWalk(tok *cancelToken, stk []int) {
+	for len(stk) > 0 {
+		stk = stk[:len(stk)-1]
+	}
+}

@@ -1,0 +1,94 @@
+// Package determinism enforces the repository's central contract: a released
+// decomposition is a pure function of (points, seed, ε-budget). That purity
+// is what makes parallel and sequential builds byte-identical per seed, what
+// `psdingest verify`'s three-way bit-compare audits, and what the fleet's
+// canary bit-compare rollout gate assumes. It holds only if no ambient
+// randomness, no wall clock, and no nondeterministic iteration order can
+// reach a build or release path.
+//
+// In the build/release packages (internal/core, dp, tree, grid, ols, median,
+// rng) this analyzer forbids:
+//
+//   - importing math/rand, math/rand/v2 or crypto/rand — all randomness must
+//     flow through psd/internal/rng's counter-based per-node streams
+//     (rng.At), which are replayable from the seed;
+//   - calling time.Now / time.Since / time.Until — wall clock readings make
+//     byte-identical rebuilds impossible;
+//   - ranging over a map — Go randomizes map iteration order, so any map
+//     walk that feeds release output (node ordering, serialized fields,
+//     accumulated sums) is a nondeterminism hole. Iterate a sorted key slice
+//     instead, or justify the exception with //lint:allow.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"psd/internal/analysis"
+)
+
+// scope is the set of packages whose code can feed release bytes.
+var scope = map[string]bool{
+	"psd/internal/core":   true,
+	"psd/internal/dp":     true,
+	"psd/internal/tree":   true,
+	"psd/internal/grid":   true,
+	"psd/internal/ols":    true,
+	"psd/internal/median": true,
+	"psd/internal/rng":    true,
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "ambient randomness breaks seed-replayable builds; draw from psd/internal/rng streams (rng.At)",
+	"math/rand/v2": "ambient randomness breaks seed-replayable builds; draw from psd/internal/rng streams (rng.At)",
+	"crypto/rand":  "system entropy can never be replayed from a seed; draw from psd/internal/rng streams (rng.At)",
+}
+
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, ambient randomness and map iteration in build/release packages: released bytes must be a pure function of (points, seed, ε)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), "import of %s in build/release package %s: %s", path, pass.PkgPath, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for fn := range bannedTimeFuncs {
+					if pass.IsPkgFunc(n, "time", fn) {
+						pass.Reportf(n.Pos(), "time.%s in build/release package %s: wall-clock readings make byte-identical rebuilds impossible; timing belongs in the serving/observability layer", fn, pass.PkgPath)
+					}
+				}
+			case *ast.RangeStmt:
+				t := pass.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in build/release package %s: Go randomizes map order, so anything this loop feeds into release output is nondeterministic; iterate a sorted key slice instead", pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

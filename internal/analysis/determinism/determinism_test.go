@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"psd/internal/analysis/analysistest"
+	"psd/internal/analysis/determinism"
+)
+
+func TestInScope(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "psd/internal/dp")
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "psd/internal/serve")
+}

@@ -1,0 +1,56 @@
+package dp
+
+import (
+	crand "crypto/rand" // want `crypto/rand`
+	"math/rand"        // want `ambient randomness breaks seed-replayable builds`
+	"time"
+)
+
+func ambient() float64 {
+	return rand.Float64()
+}
+
+func entropy() byte {
+	var b [1]byte
+	crand.Read(b[:])
+	return b[0]
+}
+
+func clock() int64 {
+	t := time.Now() // want `wall-clock readings make byte-identical rebuilds impossible`
+	return t.Unix()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+func deadline(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time\.Until`
+}
+
+func allowedClock() time.Time {
+	//lint:allow determinism -- audit metadata timestamp, never release bytes
+	return time.Now()
+}
+
+func unjustified() time.Time {
+	//lint:allow determinism // want `needs a justification`
+	return time.Now() // want `wall-clock`
+}
+
+func mapWalk(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration .* nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func sliceWalk(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,9 @@
+// Package core is OUT of fsyncdiscipline's scope: it produces bytes in
+// memory; persistence is its callers' problem.
+package core
+
+import "os"
+
+func scratch(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,8 @@
+package ingest
+
+import "os"
+
+// fs.go is the designated filesystem seam: raw renames are its job.
+func seamRename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}

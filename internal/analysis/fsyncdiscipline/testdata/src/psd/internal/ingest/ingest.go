@@ -1,0 +1,24 @@
+package ingest
+
+import "os"
+
+func publish(tmp, final string) error {
+	return os.Rename(tmp, final) // want `bypasses the fsync-before-rename discipline`
+}
+
+func scribble(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile`
+}
+
+func open(path string) (*os.File, error) {
+	return os.Create(path) // want `os\.Create`
+}
+
+func journalRotate(tmp, final string) error {
+	//lint:allow fsyncdiscipline -- segment already fsynced; this rename is the WAL rotation commit point
+	return os.Rename(tmp, final)
+}
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path) // reads are not durability hazards
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with args in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.ImporterFrom over a map of canonical import
+// path -> compiler export data file, as produced by `go list -export`. The
+// importMap translates source-level import strings (which may be vendored or
+// remapped) to canonical paths first.
+type exportImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return &exportImporter{gc: gc, importMap: importMap}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := ei.importMap[path]; ok && mapped != "" {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.ImportFrom(path, dir, 0)
+}
+
+// checkFiles type-checks already-parsed files as package pkgPath using imp.
+func checkFiles(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	cfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := cfg.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		return tpkg, info, firstErr
+	}
+	if err != nil {
+		return tpkg, info, err
+	}
+	return tpkg, info, nil
+}
+
+// ListExports runs `go list -deps -export` over paths rooted at dir and
+// returns the canonical-import-path -> export-data-file map, for callers
+// (the analysistest harness) that assemble their own type-check.
+func ListExports(dir string, paths []string) (map[string]string, error) {
+	deps, err := goList(dir, append([]string{
+		"list", "-deps", "-export", "-json=ImportPath,Export,Error", "--",
+	}, paths...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		exports[p.ImportPath] = p.Export
+	}
+	return exports, nil
+}
+
+// CheckFixture type-checks parsed fixture files as package pkgpath against
+// the given export-data map and wraps the result as a Package.
+func CheckFixture(fset *token.FileSet, pkgpath string, files []*ast.File, exports map[string]string) (*Package, error) {
+	imp := newExportImporter(fset, exports, nil)
+	tpkg, info, err := checkFiles(fset, pkgpath, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{PkgPath: pkgpath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// LoadPackages loads, parses and type-checks the module packages matching
+// patterns, rooted at dir. Dependencies (standard library and sibling module
+// packages alike) are imported from compiler export data, so each target
+// package checks independently and quickly.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targetSet := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		targetSet[t.ImportPath] = true
+	}
+
+	deps, err := goList(dir, append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,GoFiles,ImportMap,Error",
+	}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		exports[p.ImportPath] = p.Export
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range deps {
+		if !targetSet[p.ImportPath] {
+			continue
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			full := name
+			if !strings.HasPrefix(name, "/") {
+				full = p.Dir + "/" + name
+			}
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", full, err)
+			}
+			files = append(files, f)
+		}
+		imp := newExportImporter(fset, exports, p.ImportMap)
+		tpkg, info, err := checkFiles(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath:   p.ImportPath,
+			Dir:       p.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunStandalone loads the packages matching patterns under dir, applies every
+// analyzer, and prints findings to w in file:line:col form. It returns the
+// number of findings (0 means a clean run).
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := LoadPackages(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags := RunAnalyzers(pkg, analyzers)
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s\n", d.String())
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

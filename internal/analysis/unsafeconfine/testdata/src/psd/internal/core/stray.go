@@ -1,0 +1,7 @@
+package core
+
+import "unsafe" // want `outside the audited mmap seam`
+
+func strayAlias(b []byte) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[0]))
+}

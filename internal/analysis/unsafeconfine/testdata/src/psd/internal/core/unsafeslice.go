@@ -1,0 +1,6 @@
+// unsafeslice.go is the audited seam: unsafe is allowed here by name.
+package core
+
+import "unsafe"
+
+func wordSize() uintptr { return unsafe.Sizeof(uintptr(0)) }

@@ -1,0 +1,11 @@
+package grid
+
+import (
+	"reflect"
+	"unsafe" // want `outside the audited mmap seam`
+)
+
+func alias(b []byte) uintptr {
+	h := (*reflect.SliceHeader)(unsafe.Pointer(&b)) // want `reflect\.SliceHeader is unsafe aliasing`
+	return h.Data
+}

@@ -27,7 +27,7 @@ func Write(path string, write func(io.Writer) error) (int64, error) {
 	}
 	n, err := writeTo(tmp, write)
 	if err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error wins; the temp file is discarded
 		os.Remove(tmp.Name())
 		return 0, err
 	}

@@ -420,6 +420,8 @@ func (s *Slab) countBatchShard(sc *batchScratch, st *QueryStats) {
 // what the per-query pop performs (a retire's single est load, a partial
 // leaf's est × overlapFraction — including the +0.0 add of a zero-area
 // overlap), so the accumulation order and bits match exactly.
+//
+//lint:allow ctxpoll -- the visits here are pre-paid: batchNode ticks 4*len(active) before dispatching, covering all four terminal children
 func (s *Slab) batchLeafParent(sc *batchScratch, cs int, active []int32) {
 	nodes := s.nodes
 	c0, c1, c2, c3 := &nodes[cs], &nodes[cs+1], &nodes[cs+2], &nodes[cs+3]

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"time"
 
 	"psd/internal/dp"
 	"psd/internal/geom"
@@ -35,7 +34,6 @@ func medianStream(node, slot int) uint64 { return uint64(node)*4 + uint64(slot) 
 // released tree is byte-identical at every worker count, because all
 // randomness is drawn from per-node streams rather than one shared one.
 func Build(points []geom.Point, domain geom.Rect, cfg Config) (*PSD, error) {
-	start := time.Now()
 	cfg, err := cfg.withDefaults(domain)
 	if err != nil {
 		return nil, err
@@ -172,7 +170,6 @@ func Build(points []geom.Point, domain geom.Rect, cfg Config) (*PSD, error) {
 	}
 
 	p.stats.MedianCalls = int(p.medianCalls.Load())
-	p.stats.Duration = time.Since(start)
 	return p, nil
 }
 

@@ -332,6 +332,12 @@ func (p *PSD) Len() int { return p.arena.Len() }
 // Stats returns build statistics.
 func (p *PSD) Stats() BuildStats { return p.stats }
 
+// SetBuildDuration records the wall-clock build time observed by the
+// caller. Build itself never reads a clock — core must stay free of
+// wall-clock inputs so rebuilds are byte-identical — so the timing
+// observation lives with whoever invoked Build.
+func (p *PSD) SetBuildDuration(d time.Duration) { p.stats.Duration = d }
+
 // CountBudgets returns a copy of the per-level count budgets ε_i (leaves
 // first).
 func (p *PSD) CountBudgets() []float64 {

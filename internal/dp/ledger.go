@@ -76,7 +76,7 @@ func OpenLedger(path string, budget float64) (*Ledger, error) {
 		labels: make(map[string]map[string]bool),
 	}
 	if err := l.replay(); err != nil {
-		f.Close()
+		_ = f.Close() // the replay error wins; nothing was written yet
 		return nil, err
 	}
 	return l, nil
@@ -211,7 +211,7 @@ func (l *Ledger) Charge(name, label string, eps float64) error {
 		// records nothing.
 		return a.Charge(label, eps)
 	}
-	rec := LedgerRecord{Seq: l.seq + 1, Name: name, Label: label, Eps: eps, At: time.Now().UTC()}
+	rec := LedgerRecord{Seq: l.seq + 1, Name: name, Label: label, Eps: eps, At: time.Now().UTC()} //lint:allow determinism -- ledger timestamps are audit metadata on the durable journal, never release bytes
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("dp: ledger: encoding record: %w", err)

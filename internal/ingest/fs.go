@@ -48,7 +48,7 @@ func openSync(fsys FS, name string) (*syncWriter, error) {
 	}
 	s, ok := w.(syncer)
 	if !ok {
-		w.Close()
+		_ = w.Close() // nothing was written through the handle
 		return nil, fmt.Errorf("ingest: filesystem seam's append handle for %s cannot fsync", name)
 	}
 	return &syncWriter{WriteCloser: w, syncer: s}, nil

@@ -182,7 +182,7 @@ func Open(cfg Config) (*Ingester, error) {
 		return nil, err
 	}
 	if err := in.recover(); err != nil {
-		in.Close()
+		_ = in.Close() // the recovery error wins; state is re-replayed on reopen
 		return nil, err
 	}
 	return in, nil
@@ -222,13 +222,13 @@ func openNoRecover(cfg Config) (*Ingester, error) {
 	}
 	ledger, err := dp.OpenLedger(filepath.Join(cfg.StateDir, "ledger"), budget)
 	if err != nil {
-		wal.Close()
+		_ = wal.Close() // the open error wins; nothing was appended yet
 		return nil, err
 	}
 	journal, err := OpenJournal(filepath.Join(cfg.StateDir, "versions.log"))
 	if err != nil {
-		wal.Close()
-		ledger.Close()
+		_ = wal.Close()
+		_ = ledger.Close()
 		return nil, err
 	}
 	in := &Ingester{cfg: cfg, fs: cfg.FS, log: logger, wal: wal, points: points, ledger: ledger, journal: journal}

@@ -100,7 +100,7 @@ func OpenJournal(path string) (*Journal, error) {
 	}
 	j := &Journal{path: path, f: f, versions: make(map[int]*versionState)}
 	if err := j.replay(); err != nil {
-		f.Close()
+		_ = f.Close() // the replay error wins; nothing was written yet
 		return nil, err
 	}
 	return j, nil

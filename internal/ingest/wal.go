@@ -281,17 +281,17 @@ func (w *WAL) createSegment(seq, firstIndex uint64) error {
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
 	binary.LittleEndian.PutUint64(hdr[16:24], firstIndex)
 	if _, err := tw.Write(hdr[:]); err != nil {
-		tw.Close()
+		_ = tw.Close() // the write error wins; the temp segment is discarded
 		_ = w.fs.Remove(tmp)
 		return err
 	}
 	if err := tw.Sync(); err != nil {
-		tw.Close()
+		_ = tw.Close()
 		_ = w.fs.Remove(tmp)
 		return err
 	}
 	if err := w.fs.Rename(tmp, final); err != nil {
-		tw.Close()
+		_ = tw.Close()
 		_ = w.fs.Remove(tmp)
 		return err
 	}
@@ -299,7 +299,9 @@ func (w *WAL) createSegment(seq, firstIndex uint64) error {
 	// refuse directory fsync; the header bytes are already safe.
 	_ = w.fs.SyncDir(w.dir)
 	if w.seg != nil {
-		w.seg.Close()
+		// The outgoing segment's bytes were fsynced by the Append that
+		// filled it; its close has nothing left to lose.
+		_ = w.seg.Close()
 		w.prevBytes += w.segBytes
 	}
 	w.seg, w.segPath, w.segSeq, w.segBytes = tw, final, seq, segHeaderLen
@@ -352,7 +354,7 @@ func (w *WAL) Append(pts []psd.Point) error {
 // marks itself broken: nothing further can be safely acknowledged until a
 // reopen re-runs recovery.
 func (w *WAL) rollback(to int64, cause error) error {
-	w.seg.Close()
+	_ = w.seg.Close() // cause (the failed append) wins; the tail is truncated next
 	if err := w.fs.Truncate(w.segPath, to); err != nil {
 		w.broken = fmt.Errorf("%w (and tail rollback failed: %v)", cause, err)
 		return w.broken

@@ -40,6 +40,7 @@ package psd
 
 import (
 	"fmt"
+	"time"
 
 	"psd/internal/budget"
 	"psd/internal/core"
@@ -334,10 +335,14 @@ func Build(points []Point, domain Rect, opts Options) (*Tree, error) {
 	default:
 		return nil, fmt.Errorf("psd: unknown median method %d", opts.Median)
 	}
+	// Timing is observed here, outside core: core.Build reads no clock, so
+	// a rebuild from the same seed is byte-identical (psdlint: determinism).
+	start := time.Now()
 	p, err := core.Build(points, domain, cfg)
 	if err != nil {
 		return nil, err
 	}
+	p.SetBuildDuration(time.Since(start))
 	return &Tree{inner: p}, nil
 }
 
